@@ -1,0 +1,18 @@
+"""Fig 1: branch-misprediction stall share on conservative vs aggressive cores."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig01, run_fig01
+
+
+def test_fig01_hw_motivation(benchmark, runner, report_sink):
+    rows = run_once(benchmark, lambda: run_fig01(runner))
+    report_sink("fig01_hw_motivation", format_fig01(rows))
+    by_machine = {}
+    for row in rows:
+        by_machine.setdefault(row.machine, []).append(row)
+    sky = by_machine["skylake_like"]
+    spr = by_machine["sapphire_rapids_like"]
+    # the paper's claim: aggressive machine has lower MPKI, higher stall share
+    assert sum(r.mpki for r in spr) < sum(r.mpki for r in sky)
+    assert sum(r.branch_stall_share for r in spr) > sum(r.branch_stall_share for r in sky)

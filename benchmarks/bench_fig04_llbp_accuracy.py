@@ -1,0 +1,16 @@
+"""Fig 4: LLBP / 512K TSL / Inf TSL misprediction reduction over 64K TSL."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig04, run_fig04
+
+
+def test_fig04_llbp_accuracy(benchmark, runner, report_sink):
+    rows = run_once(benchmark, lambda: run_fig04(runner))
+    report_sink("fig04_llbp_accuracy", format_fig04(rows))
+    n = len(rows)
+    avg = {c: sum(r.reductions[c] for r in rows) / n for c in rows[0].reductions}
+    # shape: LLBP gains but stays below the equal-storage ideal TSL
+    assert avg["llbp"] > 0
+    assert avg["tsl_512k"] > avg["llbp"]
+    assert avg["tsl_inf"] >= avg["tsl_512k"] - 0.5

@@ -1,0 +1,13 @@
+"""Fig 5: the limit-study ladder over 0-latency LLBP."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig05, run_fig05
+
+
+def test_fig05_limit_study(benchmark, runner, report_sink):
+    steps = run_once(benchmark, lambda: run_fig05(runner))
+    report_sink("fig05_limit_study", format_fig05(steps))
+    assert steps[0].normalized == 1.0
+    # removing every constraint must help overall
+    assert steps[-1].mpki < steps[0].mpki

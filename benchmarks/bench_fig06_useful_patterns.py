@@ -1,0 +1,16 @@
+"""Figs 6+7: useful patterns per context and their history lengths."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig06_07, run_fig06_07
+
+
+def test_fig06_07_context_profile(benchmark, runner, report_sink):
+    result = run_once(benchmark, lambda: run_fig06_07(runner))
+    report_sink("fig06_07_useful_patterns", format_fig06_07(result))
+    profile = result.profile
+    # skew: the busiest decile holds far more useful patterns than the median
+    counts = profile.counts
+    assert counts[0] >= 4 * counts[len(counts) // 2]
+    # most contexts are underutilised (paper: 68% hold <= 8)
+    assert profile.underutilized_fraction > 0.5

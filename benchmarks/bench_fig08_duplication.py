@@ -1,0 +1,17 @@
+"""Fig 8: pattern duplication vs history length and context depth W."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig08, run_fig08
+
+
+def test_fig08_duplication(benchmark, runner, report_sink):
+    duplication = run_once(benchmark, lambda: run_fig08(runner))
+    report_sink("fig08_duplication", format_fig08(duplication))
+    for depth, by_length in duplication.items():
+        lengths = sorted(by_length)
+        if len(lengths) >= 4:
+            short = sum(by_length[l] for l in lengths[:2]) / 2
+            long = sum(by_length[l] for l in lengths[-2:]) / 2
+            # duplication falls with history length (the paper's main trend)
+            assert short >= long, f"W={depth}: {short} < {long}"

@@ -1,0 +1,16 @@
+"""Fig 9: useful predictions per history length for W in {2, 64} vs W=8."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig09, run_fig09
+
+
+def test_fig09_depth_sweep(benchmark, runner, report_sink):
+    ratios = run_once(benchmark, lambda: run_fig09(runner))
+    report_sink("fig09_depth_sweep", format_fig09(ratios))
+    lengths = sorted(ratios[64])
+    if len(lengths) >= 4:
+        # the deep depth's penalty shrinks (or reverses) at longer history
+        short = sum(ratios[64][l] for l in lengths[:2]) / 2
+        long = sum(ratios[64][l] for l in lengths[-3:]) / 3
+        assert long >= short * 0.8

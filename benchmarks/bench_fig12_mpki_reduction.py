@@ -1,0 +1,17 @@
+"""Fig 12: the headline comparison -- LLBP-X vs LLBP vs Opt-W vs 512K TSL."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig12, run_fig12
+
+
+def test_fig12_mpki_reduction(benchmark, runner, report_sink):
+    rows = run_once(benchmark, lambda: run_fig12(runner))
+    report_sink("fig12_mpki_reduction", format_fig12(rows))
+    n = len(rows)
+    avg = {c: sum(r.reductions[c] for r in rows) / n for c in rows[0].reductions}
+    # the paper's ordering: LLBP-X improves on LLBP on average, Opt-W is
+    # at least comparable, and the ideal 512K TSL bounds everything
+    assert avg["llbpx"] > avg["llbp"] - 0.3
+    assert avg["llbpx_optw"] >= avg["llbpx"] - 0.5
+    assert avg["tsl_512k"] > avg["llbpx"]

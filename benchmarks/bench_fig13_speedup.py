@@ -1,0 +1,14 @@
+"""Fig 13: speedup over 64K TSL on the analytical pipeline model."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig13, run_fig13
+
+
+def test_fig13_speedup(benchmark, runner, report_sink):
+    rows = run_once(benchmark, lambda: run_fig13(runner))
+    report_sink("fig13_speedup", format_fig13(rows))
+    n = len(rows)
+    avg = {c: sum(r.speedups[c] for r in rows) / n for c in rows[0].speedups}
+    assert avg["llbpx"] > 0
+    assert avg["tsl_512k"] >= avg["llbpx"]  # the ideal bounds the real design

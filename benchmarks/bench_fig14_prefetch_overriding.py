@@ -1,0 +1,27 @@
+"""Fig 14: prefetch effectiveness, false-path effects, overriding scheme."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    format_fig14a,
+    format_fig14b,
+    run_fig14a,
+    run_fig14b,
+)
+
+
+def test_fig14a_prefetch_effectiveness(benchmark, runner, report_sink):
+    results = run_once(benchmark, lambda: run_fig14a(runner))
+    report_sink("fig14a_prefetch", format_fig14a(results))
+    total_timely = sum(r.with_false_path.timely for r in results)
+    total = sum(r.with_false_path.total for r in results)
+    assert total > 0 and total_timely / total > 0.5  # paper: 84% timely
+
+
+def test_fig14b_overriding_scheme(benchmark, runner, report_sink):
+    rows = run_once(benchmark, lambda: run_fig14b(runner))
+    report_sink("fig14b_overriding", format_fig14b(rows))
+    n = len(rows)
+    avg = {c: sum(r.speedups[c] for r in rows) / n for c in rows[0].speedups}
+    # paper: under overriding, LLBP-X beats doubling the TSL
+    assert avg["llbpx"] > avg["tsl_128k"] - 0.2

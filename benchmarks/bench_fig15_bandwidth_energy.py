@@ -1,0 +1,18 @@
+"""Fig 15: transfer bandwidth and energy, LLBP-X vs LLBP."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig15, run_fig15
+
+
+def test_fig15_bandwidth_energy(benchmark, runner, report_sink):
+    result = run_once(benchmark, lambda: run_fig15(runner))
+    report_sink("fig15_bandwidth_energy", format_fig15(result))
+    mean_bpi = {
+        c: sum(r.bits_per_instruction for r in reports) / len(reports)
+        for c, reports in result.bandwidth.items()
+    }
+    # reads dominate writes (paper: ~5x) and both designs move data
+    for reports in result.bandwidth.values():
+        assert sum(r.reads for r in reports) > sum(r.writes for r in reports)
+    assert mean_bpi["llbp"] > 0 and mean_bpi["llbpx"] > 0

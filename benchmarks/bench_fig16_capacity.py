@@ -1,0 +1,17 @@
+"""Fig 16: pattern-store and baseline-TAGE capacity sensitivity."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig16, run_fig16a, run_fig16b
+
+
+def test_fig16_capacity_sensitivity(benchmark, runner, report_sink):
+    def run_both():
+        return run_fig16a(runner), run_fig16b(runner)
+
+    points_a, points_b = run_once(benchmark, run_both)
+    report_sink("fig16_capacity", format_fig16(points_a, points_b))
+    # (a) bigger pattern stores never hurt much
+    assert points_a[-1].reduction_percent >= points_a[0].reduction_percent - 1.0
+    # (b) LLBP-X helps every baseline TSL size
+    assert all(p.reduction_percent > 0 for p in points_b)

@@ -1,0 +1,11 @@
+"""Sec VII-E: contribution split of LLBP-X's two optimisations."""
+
+from conftest import run_once
+
+from repro.experiments import format_breakdown, run_breakdown
+
+
+def test_sec7e_optimization_breakdown(benchmark, runner, report_sink):
+    result = run_once(benchmark, lambda: run_breakdown(runner))
+    report_sink("sec7e_breakdown", format_breakdown(result))
+    assert 0.0 <= result.range_selection_share <= 1.0

@@ -1,0 +1,16 @@
+"""Sec VII-F: H_th and CTT-capacity sensitivity sweeps."""
+
+from conftest import run_once
+
+from repro.experiments import format_sensitivity, run_ctt_sweep, run_hth_sweep
+
+
+def test_sec7f_sensitivity(benchmark, runner, report_sink):
+    def run_both():
+        return run_hth_sweep(runner), run_ctt_sweep(runner)
+
+    hth, ctt = run_once(benchmark, run_both)
+    report_sink("sec7f_sensitivity", format_sensitivity(hth, ctt))
+    # most benchmarks show minimal sensitivity around the optimum (paper)
+    spread = max(p.reduction_percent for p in hth) - min(p.reduction_percent for p in hth)
+    assert spread < 15

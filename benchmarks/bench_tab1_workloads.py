@@ -1,0 +1,12 @@
+"""Table I: per-workload 64K-TSL branch MPKI."""
+
+from conftest import run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_workload_mpki(benchmark, runner, report_sink):
+    rows = run_once(benchmark, lambda: run_table1(runner))
+    report_sink("table1_workloads", format_table1(rows))
+    assert len(rows) >= 3
+    assert all(row.measured_mpki > 0 for row in rows)

@@ -1,0 +1,21 @@
+"""Table II: simulated processor parameters (configuration listing)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table2
+from repro.metrics import llbp_budget, overhead_percent, tsl_budget
+from repro.llbp import llbp_default, llbpx_default
+from repro.tage import tsl_64k
+
+
+def test_table2_machine_parameters(benchmark, report_sink):
+    text = run_once(benchmark, format_table2)
+    base = llbp_budget(llbp_default(), tsl_64k())
+    extended = llbp_budget(llbpx_default(), tsl_64k())
+    budget_note = (
+        f"storage budgets: 64K TSL {tsl_budget(tsl_64k()).total_kib:.0f} KiB, "
+        f"LLBP system {base.total_kib:.0f} KiB, LLBP-X system {extended.total_kib:.0f} KiB "
+        f"(+{overhead_percent(base, extended):.1f}%, paper +1.8%)"
+    )
+    report_sink("table2_machine", text + "\n" + budget_note)
+    assert "TAGE-SC-L" in text

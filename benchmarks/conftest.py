@@ -1,0 +1,50 @@
+"""Shared state for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints
+its rows (also archived under ``benchmarks/results/``).  The
+:class:`~repro.core.Runner` is session-scoped so results shared between
+figures (e.g. the 64K-TSL baselines) are simulated once.
+
+Knobs (environment variables):
+
+* ``REPRO_BRANCHES``  -- trace length per workload (default 120000)
+* ``REPRO_WORKLOADS`` -- ``quick`` trims every workload set to 3
+* ``REPRO_SCALE``     -- capacity scale (default 8; see DESIGN.md §1)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import Runner, RunnerConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(
+        RunnerConfig(
+            scale=int(os.environ.get("REPRO_SCALE", "8")),
+            num_branches=int(os.environ.get("REPRO_BRANCHES", "120000")),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

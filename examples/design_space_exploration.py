@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the context-depth and capacity trade-offs.
+
+Sweeps LLBP's context depth W (the paper's central tension: spreading vs
+duplication, §IV) and the pattern-store capacity (Fig 16a) on one
+workload, printing MPKI-reduction curves.  This is the kind of study the
+paper's trace-driven framework exists for.
+
+Run with::
+
+    python examples/design_space_exploration.py [workload]
+"""
+
+import sys
+
+from repro import Runner, RunnerConfig, reduction
+from repro.experiments import format_table
+
+
+def sweep_context_depth(runner: Runner, workload: str) -> str:
+    baseline = runner.run_one(workload, "tsl_64k")
+    rows = []
+    for depth in (1, 2, 4, 8, 16, 32, 64):
+        result = runner.run_one(workload, "llbp", context_depth=depth)
+        rows.append([f"W={depth}", f"{result.mpki:.3f}", f"{reduction(baseline, result):+.1f}%"])
+    return format_table(
+        ["context depth", "MPKI", "reduction vs 64K TSL"],
+        rows,
+        title=f"LLBP context-depth sweep on {workload} (the §IV tension)",
+    )
+
+
+def sweep_store_capacity(runner: Runner, workload: str) -> str:
+    baseline = runner.run_one(workload, "tsl_64k")
+    rows = []
+    for contexts in (2048, 4096, 8192, 14336, 28672, 57344):
+        result = runner.run_one(workload, "llbpx_0lat", num_contexts=contexts)
+        rows.append(
+            [f"{contexts // 1024}K", f"{result.mpki:.3f}", f"{reduction(baseline, result):+.1f}%"]
+        )
+    return format_table(
+        ["pattern store contexts", "MPKI", "reduction vs 64K TSL"],
+        rows,
+        title=f"LLBP-X pattern-store capacity sweep on {workload} (Fig 16a)",
+    )
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "whiskey"
+    runner = Runner(RunnerConfig(num_branches=80_000))
+    print(sweep_context_depth(runner, workload))
+    print()
+    print(sweep_store_capacity(runner, workload))
+
+
+if __name__ == "__main__":
+    main()

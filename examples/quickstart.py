@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: compare TAGE-SC-L, LLBP, and LLBP-X on one server workload.
+
+Run with::
+
+    python examples/quickstart.py [workload] [branches]
+
+The default simulates 60K branches of the NodeApp-like workload -- about
+half a minute -- and prints the misprediction comparison that Fig 12 of
+the paper reports per workload.
+"""
+
+import sys
+
+from repro import Runner, RunnerConfig, reduction
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "nodeapp"
+    branches = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+
+    runner = Runner(RunnerConfig(num_branches=branches))
+    print(f"Simulating {workload!r} ({branches} branches, capacity scale "
+          f"{runner.config.scale}; see DESIGN.md for the scaled universe)...\n")
+
+    baseline = runner.run_one(workload, "tsl_64k")
+    print(baseline.summary())
+
+    for config in ("llbp", "llbpx", "tsl_512k"):
+        result = runner.run_one(workload, config)
+        print(f"{result.summary()}  ({reduction(baseline, result):+5.1f}% vs 64K TSL)")
+
+    llbpx = runner.run_one(workload, "llbpx")
+    print("\nLLBP-X internals:")
+    for key in ("llbp_provides", "llbp_useful", "prefetches_issued", "pattern_allocations"):
+        print(f"  {key:>22s}: {llbpx.stats.get(key, 0)}")
+    for key, value in sorted(llbpx.extra.items()):
+        print(f"  {key:>22s}: {value:.0f}")
+
+
+if __name__ == "__main__":
+    main()

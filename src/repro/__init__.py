@@ -1,0 +1,50 @@
+"""Reproduction of "The Last-Level Branch Predictor Revisited" (HPCA 2026).
+
+A pure-Python simulation framework for hierarchical branch prediction:
+TAGE-SC-L, LLBP, and LLBP-X, plus synthetic server-workload generation,
+analytical timing/energy models, and harnesses regenerating every table
+and figure of the paper's evaluation.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import Runner, RunnerConfig
+
+    runner = Runner(RunnerConfig(num_branches=60_000))
+    base = runner.run_one("nodeapp", "tsl_64k")
+    llbpx = runner.run_one("nodeapp", "llbpx")
+    print(base.summary())
+    print(llbpx.summary())
+"""
+
+from repro.core import Runner, RunnerConfig, SimulationResult, reduction, simulate
+from repro.llbp import LLBP, LLBPX, LLBPConfig, LLBPXConfig, llbp_default, llbpx_default
+from repro.tage import TageConfig, TageSCL, TraceTensors, tsl_512k, tsl_64k, tsl_infinite
+from repro.traces import Trace, WorkloadSpec, WORKLOAD_NAMES, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LLBP",
+    "LLBPConfig",
+    "LLBPX",
+    "LLBPXConfig",
+    "Runner",
+    "RunnerConfig",
+    "SimulationResult",
+    "TageConfig",
+    "TageSCL",
+    "Trace",
+    "TraceTensors",
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "__version__",
+    "generate_workload",
+    "llbp_default",
+    "llbpx_default",
+    "reduction",
+    "simulate",
+    "tsl_512k",
+    "tsl_64k",
+    "tsl_infinite",
+]

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``     -- simulate one or more predictor configurations on workloads
+* ``report``  -- regenerate one of the paper's tables/figures
+* ``list``    -- show known workloads and predictor configurations
+
+Examples::
+
+    python -m repro run --workload nodeapp --config tsl_64k --config llbpx
+    python -m repro report fig12 --workloads kafka,nodeapp
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core import Runner, RunnerConfig, reduction
+from repro.traces.workloads import WORKLOAD_NAMES
+
+KNOWN_CONFIGS = (
+    "tsl_8k", "tsl_16k", "tsl_32k", "tsl_64k", "tsl_128k", "tsl_256k", "tsl_512k",
+    "tsl_inf", "llbp", "llbp_0lat", "llbpx", "llbpx_0lat", "llbpx_optw",
+)
+
+KNOWN_REPORTS = (
+    "table1", "table2", "fig01", "fig04", "fig05", "fig06", "fig08", "fig09",
+    "fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16", "sec7e", "sec7f",
+)
+
+
+def _make_runner(args: argparse.Namespace) -> Runner:
+    return Runner(RunnerConfig(scale=args.scale, num_branches=args.branches))
+
+
+def _workload_list(value: str) -> List[str]:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    for name in names:
+        if name not in WORKLOAD_NAMES:
+            raise argparse.ArgumentTypeError(
+                f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+            )
+    return names
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in WORKLOAD_NAMES:
+        print(f"  {name}")
+    print("\npredictor configurations:")
+    for name in KNOWN_CONFIGS:
+        print(f"  {name}")
+    print("\nreports:")
+    print("  " + ", ".join(KNOWN_REPORTS))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    for workload in args.workload:
+        baseline = None
+        for config in args.config:
+            result = runner.run_one(workload, config)
+            line = result.summary()
+            if baseline is None:
+                baseline = result
+            else:
+                line += f"  ({reduction(baseline, result):+5.1f}% vs {baseline.predictor})"
+            print(line)
+        runner.release(workload)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro import experiments as ex
+
+    runner = _make_runner(args)
+    workloads = args.workloads
+    name = args.name
+    if name == "table1":
+        print(ex.format_table1(ex.run_table1(runner, workloads)))
+    elif name == "table2":
+        print(ex.format_table2())
+    elif name == "fig01":
+        print(ex.format_fig01(ex.run_fig01(runner, workloads)))
+    elif name == "fig04":
+        print(ex.format_fig04(ex.run_fig04(runner, workloads)))
+    elif name == "fig05":
+        print(ex.format_fig05(ex.run_fig05(runner, workloads)))
+    elif name == "fig06":
+        print(ex.format_fig06_07(ex.run_fig06_07(runner, (workloads or ["nodeapp"])[0])))
+    elif name == "fig08":
+        print(ex.format_fig08(ex.run_fig08(runner, (workloads or ["nodeapp"])[0])))
+    elif name == "fig09":
+        print(ex.format_fig09(ex.run_fig09(runner, (workloads or ["nodeapp"])[0])))
+    elif name == "fig12":
+        print(ex.format_fig12(ex.run_fig12(runner, workloads)))
+    elif name == "fig13":
+        print(ex.format_fig13(ex.run_fig13(runner, workloads)))
+    elif name == "fig14a":
+        print(ex.format_fig14a(ex.run_fig14a(runner, workloads)))
+    elif name == "fig14b":
+        print(ex.format_fig14b(ex.run_fig14b(runner, workloads)))
+    elif name == "fig15":
+        print(ex.format_fig15(ex.run_fig15(runner, workloads)))
+    elif name == "fig16":
+        print(ex.format_fig16(ex.run_fig16a(runner, workloads), ex.run_fig16b(runner, workloads)))
+    elif name == "sec7e":
+        print(ex.format_breakdown(ex.run_breakdown(runner, workloads)))
+    elif name == "sec7f":
+        print(ex.format_sensitivity(ex.run_hth_sweep(runner, workloads), ex.run_ctt_sweep(runner, workloads)))
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown report {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--branches", type=int, default=120_000, help="trace length per workload")
+    common.add_argument("--scale", type=int, default=8, help="capacity scale (DESIGN.md §1)")
+
+    p_list = sub.add_parser("list", help="show workloads, configs, reports")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", parents=[common], help="simulate configurations")
+    p_run.add_argument("--workload", action="append", required=True, choices=WORKLOAD_NAMES)
+    p_run.add_argument("--config", action="append", required=True, choices=KNOWN_CONFIGS)
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser("report", parents=[common], help="regenerate a paper table/figure")
+    p_report.add_argument("name", choices=KNOWN_REPORTS)
+    p_report.add_argument(
+        "--workloads",
+        type=_workload_list,
+        default=None,
+        help="comma-separated workload subset (default: the figure's own set)",
+    )
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

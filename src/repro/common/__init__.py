@@ -1,0 +1,38 @@
+"""Shared primitives used across the simulation framework.
+
+The :mod:`repro.common` package gathers small, dependency-free building
+blocks: deterministic hashing, saturating counters, folded history
+registers, and statistics accumulators.  Every predictor model in
+:mod:`repro.tage` and :mod:`repro.llbp` is built on top of these.
+"""
+
+from repro.common.bitops import (
+    FoldedHistory,
+    GlobalHistory,
+    PathHistory,
+    mask,
+    mix64,
+    mix_many,
+)
+from repro.common.counters import (
+    SaturatingCounter,
+    SignedSaturatingCounter,
+    UnsignedSaturatingCounter,
+)
+from repro.common.stats import RatioStat, StatCounter, StatGroup, mpki
+
+__all__ = [
+    "FoldedHistory",
+    "GlobalHistory",
+    "PathHistory",
+    "RatioStat",
+    "SaturatingCounter",
+    "SignedSaturatingCounter",
+    "StatCounter",
+    "StatGroup",
+    "UnsignedSaturatingCounter",
+    "mask",
+    "mix64",
+    "mix_many",
+    "mpki",
+]

@@ -1,0 +1,161 @@
+"""Bit-level primitives: hashing, folded histories, global history.
+
+TAGE-style predictors hash a very long global history (thousands of bits)
+into short indices and tags every cycle.  Hardware does this with *folded
+history* registers -- circular shift registers that incrementally fold the
+history down to ``width`` bits as new outcomes are shifted in.  This module
+provides a software implementation with the same incremental-update
+semantics plus the deterministic 64-bit mixing hash used everywhere a
+"random but stable" hash is required (context IDs, trace generation, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_U64 = (1 << 64) - 1
+
+
+def mask(bits: int) -> int:
+    """Return a bit-mask with the ``bits`` low bits set."""
+    if bits < 0:
+        raise ValueError(f"bit width must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def mix64(value: int) -> int:
+    """Deterministically mix a 64-bit integer (splitmix64 finaliser).
+
+    The finaliser has full avalanche: every input bit affects every output
+    bit with probability ~1/2, which is what tag/index hashing needs.
+    """
+    z = value & _U64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+    return (z ^ (z >> 31)) & _U64
+
+
+def mix_many(values: Iterable[int]) -> int:
+    """Hash a sequence of integers into one 64-bit value, order-sensitive."""
+    acc = 0x9E3779B97F4A7C15
+    for value in values:
+        acc = mix64(acc ^ (value & _U64))
+    return acc
+
+
+class FoldedHistory:
+    """Incrementally folded global history, as in hardware TAGE.
+
+    Folds ``history_length`` bits of direction history into ``width`` bits
+    by XOR-ing ``width``-bit chunks.  ``update`` shifts one new outcome in
+    and the outcome that falls off the end of the history window out, in
+    O(1), exactly mirroring the circular-shift-register implementation.
+
+    The invariant (checked by the property tests) is that after any update
+    sequence the value equals the *naive* fold of the most recent
+    ``history_length`` outcomes.
+    """
+
+    def __init__(self, history_length: int, width: int) -> None:
+        if history_length <= 0:
+            raise ValueError(f"history_length must be positive, got {history_length}")
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.history_length = history_length
+        self.width = width
+        self.value = 0
+        # Bit position (within the folded word) where the outgoing bit of
+        # the history window lands after history_length rotations.
+        self._out_point = history_length % width
+
+    def update(self, new_bit: int, old_bit: int) -> None:
+        """Shift ``new_bit`` in and ``old_bit`` (aged out of window) out."""
+        value = ((self.value << 1) | (new_bit & 1)) & mask(self.width)
+        # Re-inject the bit rotated out by the shift.
+        value ^= self.value >> (self.width - 1)
+        # Remove the contribution of the outgoing history bit.
+        value ^= (old_bit & 1) << self._out_point
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    @staticmethod
+    def fold_naive(bits: List[int], width: int) -> int:
+        """Reference fold of a full history window (``bits[0]`` newest).
+
+        A bit of age ``a`` entered the register ``a`` updates ago at
+        position 0 and has been rotated left ``a`` times since, so it
+        contributes at position ``a % width``.  The incremental
+        implementation must agree with this for every update sequence;
+        the property tests check exactly that.
+        """
+        folded = 0
+        for age, bit in enumerate(bits):
+            folded ^= (bit & 1) << (age % width)
+        return folded
+
+
+class GlobalHistory:
+    """Circular buffer of branch direction outcomes with O(1) append.
+
+    Keeps the most recent ``capacity`` outcomes so that folded histories of
+    any shorter length can be updated incrementally: when a new outcome is
+    appended, the bit that ages out of an ``L``-bit window is simply the
+    outcome recorded ``L`` steps ago.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer = [0] * capacity
+        self._head = 0  # position of the most recent outcome
+        self._count = 0
+
+    def append(self, bit: int) -> None:
+        self._head = (self._head + 1) % self.capacity
+        self._buffer[self._head] = bit & 1
+        if self._count < self.capacity:
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def bit(self, age: int) -> int:
+        """Outcome recorded ``age`` appends ago (0 == most recent)."""
+        if age < 0 or age >= self.capacity:
+            raise IndexError(f"age {age} outside capacity {self.capacity}")
+        return self._buffer[(self._head - age) % self.capacity]
+
+    def recent(self, count: int) -> List[int]:
+        """The ``count`` most recent outcomes, newest first."""
+        return [self.bit(age) for age in range(min(count, self.capacity))]
+
+    def reset(self) -> None:
+        self._buffer = [0] * self.capacity
+        self._head = 0
+        self._count = 0
+
+
+class PathHistory:
+    """Hashed path history of low-order branch-address bits.
+
+    TAGE mixes a short *path* history (a few address bits per branch) into
+    its indices to de-alias branches with identical direction histories.
+    """
+
+    def __init__(self, depth: int = 32, bits_per_branch: int = 2) -> None:
+        self.depth = depth
+        self.bits_per_branch = bits_per_branch
+        self.value = 0
+        self._width = depth * bits_per_branch
+
+    def update(self, pc: int) -> None:
+        self.value = ((self.value << self.bits_per_branch) | (pc & mask(self.bits_per_branch))) & mask(self._width)
+
+    def hashed(self, width: int) -> int:
+        return mix64(self.value) & mask(width)
+
+    def reset(self) -> None:
+        self.value = 0

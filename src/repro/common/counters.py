@@ -1,0 +1,106 @@
+"""Saturating counters, the universal state element of branch predictors.
+
+Two flavours are provided:
+
+* :class:`SignedSaturatingCounter` -- a counter in ``[-2**(bits-1),
+  2**(bits-1) - 1]`` whose *sign* encodes a predicted direction and whose
+  magnitude encodes confidence (TAGE prediction counters, SC weights).
+* :class:`UnsignedSaturatingCounter` -- a counter in ``[0, 2**bits - 1]``
+  (useful bits, confidence counters, the CTT's avg-hist-len counter).
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """Common behaviour for bounded integer counters."""
+
+    __slots__ = ("value", "lo", "hi")
+
+    def __init__(self, lo: int, hi: int, value: int = 0) -> None:
+        if lo > hi:
+            raise ValueError(f"empty counter range [{lo}, {hi}]")
+        if not lo <= value <= hi:
+            raise ValueError(f"initial value {value} outside [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.value = value
+
+    def increment(self) -> None:
+        if self.value < self.hi:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > self.lo:
+            self.value -= 1
+
+    def update(self, up: bool) -> None:
+        """Increment when ``up`` is true, decrement otherwise."""
+        if up:
+            self.increment()
+        else:
+            self.decrement()
+
+    def set(self, value: int) -> None:
+        self.value = min(self.hi, max(self.lo, value))
+
+    @property
+    def saturated_high(self) -> bool:
+        return self.value == self.hi
+
+    @property
+    def saturated_low(self) -> bool:
+        return self.value == self.lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.value} in [{self.lo}, {self.hi}])"
+
+
+class SignedSaturatingCounter(SaturatingCounter):
+    """An n-bit two's-complement style counter in ``[-2^(n-1), 2^(n-1)-1]``."""
+
+    def __init__(self, bits: int, value: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"need at least 1 bit, got {bits}")
+        super().__init__(-(1 << (bits - 1)), (1 << (bits - 1)) - 1, value)
+        self.bits = bits
+
+    __slots__ = ("bits",)
+
+    @property
+    def taken(self) -> bool:
+        """Predicted direction: counter's sign bit (>= 0 means taken)."""
+        return self.value >= 0
+
+    @property
+    def confidence(self) -> int:
+        """Distance from the weakest state of the predicted direction.
+
+        0 for the two weakest states (-1 / 0); grows towards saturation.
+        """
+        return self.value if self.value >= 0 else -self.value - 1
+
+    @property
+    def is_weak(self) -> bool:
+        return self.value in (0, -1)
+
+    @property
+    def is_high_confidence(self) -> bool:
+        """Within one step of saturation, the LLBP notion of "confident"."""
+        return self.value >= self.hi - 1 or self.value <= self.lo + 1
+
+    def init_weak(self, taken: bool) -> None:
+        """Reset to the weakest state for ``taken`` (new allocations)."""
+        self.value = 0 if taken else -1
+
+
+class UnsignedSaturatingCounter(SaturatingCounter):
+    """An n-bit counter in ``[0, 2^n - 1]``."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int, value: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"need at least 1 bit, got {bits}")
+        super().__init__(0, (1 << bits) - 1, value)
+        self.bits = bits

@@ -1,0 +1,51 @@
+"""Simulation core: the trace-driven loop, runners, and paper analyses."""
+
+from repro.core.analysis import (
+    ContextProfile,
+    context_profile,
+    depth_sweep_relative,
+    duplication_by_depth,
+    useful_by_depth,
+)
+from repro.core.limit_study import LIMIT_STEPS, LimitStep, cumulative_overrides, run_limit_study
+from repro.core.runner import (
+    DEFAULT_BRANCHES,
+    DEFAULT_SCALE,
+    ComparisonRow,
+    Runner,
+    RunnerConfig,
+    WorkloadBundle,
+    comparison_table,
+    geometric_mean_mpki,
+    reduction,
+)
+from repro.core.results_io import load_results, result_from_dict, result_to_dict, save_results
+from repro.core.simulator import Predictor, SimulationResult, simulate
+
+__all__ = [
+    "ComparisonRow",
+    "ContextProfile",
+    "DEFAULT_BRANCHES",
+    "DEFAULT_SCALE",
+    "LIMIT_STEPS",
+    "LimitStep",
+    "Predictor",
+    "Runner",
+    "RunnerConfig",
+    "SimulationResult",
+    "WorkloadBundle",
+    "comparison_table",
+    "context_profile",
+    "cumulative_overrides",
+    "depth_sweep_relative",
+    "duplication_by_depth",
+    "geometric_mean_mpki",
+    "load_results",
+    "reduction",
+    "result_from_dict",
+    "result_to_dict",
+    "run_limit_study",
+    "save_results",
+    "simulate",
+    "useful_by_depth",
+]

@@ -1,0 +1,63 @@
+"""Persistence for simulation results.
+
+Experiment campaigns are expensive; this module serialises
+:class:`~repro.core.simulator.SimulationResult` collections to JSON so
+analyses (or the EXPERIMENTS.md comparison) can be re-run without
+re-simulating.  Round-trips preserve every field.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.core.simulator import SimulationResult
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    return {
+        "workload": result.workload,
+        "predictor": result.predictor,
+        "instructions": result.instructions,
+        "conditional_branches": result.conditional_branches,
+        "mispredictions": result.mispredictions,
+        "warmup_mispredictions": result.warmup_mispredictions,
+        "total_instructions": result.total_instructions,
+        "stats": result.stats,
+        "extra": result.extra,
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> SimulationResult:
+    return SimulationResult(
+        workload=str(data["workload"]),
+        predictor=str(data["predictor"]),
+        instructions=int(data["instructions"]),
+        conditional_branches=int(data["conditional_branches"]),
+        mispredictions=int(data["mispredictions"]),
+        warmup_mispredictions=int(data["warmup_mispredictions"]),
+        total_instructions=int(data["total_instructions"]),
+        stats={str(k): int(v) for k, v in dict(data.get("stats", {})).items()},
+        extra={str(k): float(v) for k, v in dict(data.get("extra", {})).items()},
+    )
+
+
+def save_results(results: Iterable[SimulationResult], path: Union[str, Path]) -> None:
+    """Write a result collection as JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "results": [result_to_dict(result) for result in results],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> List[SimulationResult]:
+    """Read a result collection previously written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format version {version!r}")
+    return [result_from_dict(entry) for entry in payload["results"]]

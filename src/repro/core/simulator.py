@@ -1,0 +1,132 @@
+"""The trace-driven simulation loop.
+
+Mirrors the paper's methodology (§VI): a warmup window trains the
+predictor, then mispredictions are counted over the measurement window.
+The loop itself is predictor-agnostic -- anything exposing
+``predict(t, pc) -> prediction-with-.pred``, ``update(t, pc, taken,
+prediction)`` and ``on_unconditional(t, pc, target)`` can be simulated,
+which is exactly the interface of :class:`repro.tage.TageSCL` and the
+LLBP wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+from repro.common.stats import mpki
+from repro.tage.streams import TraceTensors
+from repro.traces.record import BranchKind, Trace
+
+
+class Predictor(Protocol):
+    """Structural interface the simulation loop drives."""
+
+    name: str
+
+    def predict(self, t: int, pc: int) -> object: ...
+
+    def update(self, t: int, pc: int, taken: bool, prediction: object) -> None: ...
+
+    def on_unconditional(self, t: int, pc: int, target: int) -> None: ...
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one predictor over one trace."""
+
+    workload: str
+    predictor: str
+    instructions: int  # measurement-window instructions
+    conditional_branches: int
+    mispredictions: int
+    warmup_mispredictions: int
+    total_instructions: int
+    stats: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mpki(self) -> float:
+        return mpki(self.mispredictions, self.instructions)
+
+    @property
+    def miss_rate(self) -> float:
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.mispredictions / self.conditional_branches
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload:>14s} | {self.predictor:<18s} | "
+            f"MPKI {self.mpki:6.3f} | miss {100 * self.miss_rate:5.2f}%"
+        )
+
+
+def simulate(
+    predictor: Predictor,
+    trace: Trace,
+    tensors: Optional[TraceTensors] = None,
+    warmup_fraction: float = 0.25,
+) -> SimulationResult:
+    """Run ``predictor`` over ``trace`` and return measured statistics.
+
+    ``warmup_fraction`` of the records train the predictor without being
+    counted, mirroring the paper's warmup/measurement split.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    if tensors is None:
+        tensors = TraceTensors(trace)
+
+    cond_kind = int(BranchKind.COND)
+    pcs = trace.pcs
+    kinds = trace.kinds
+    takens = trace.taken
+    targets = trace.targets
+    n = len(pcs)
+    warmup_end = int(n * warmup_fraction)
+
+    predict = predictor.predict
+    update = predictor.update
+    on_unconditional = predictor.on_unconditional
+
+    mispredictions = 0
+    warmup_mispredictions = 0
+    cond_measured = 0
+
+    for t in range(n):
+        if kinds[t] == cond_kind:
+            pc = pcs[t]
+            taken = takens[t]
+            prediction = predict(t, pc)
+            if prediction.pred != taken:
+                if t >= warmup_end:
+                    mispredictions += 1
+                else:
+                    warmup_mispredictions += 1
+            if t >= warmup_end:
+                cond_measured += 1
+            update(t, pc, taken, prediction)
+        else:
+            on_unconditional(t, pcs[t], targets[t])
+
+    instr = tensors.instr_index
+    total_instr = int(instr[-1]) if n else 0
+    warmup_instr = int(instr[warmup_end - 1]) if warmup_end > 0 else 0
+
+    result = SimulationResult(
+        workload=trace.name,
+        predictor=predictor.name,
+        instructions=total_instr - warmup_instr,
+        conditional_branches=cond_measured,
+        mispredictions=mispredictions,
+        warmup_mispredictions=warmup_mispredictions,
+        total_instructions=total_instr,
+    )
+    stats = getattr(predictor, "stats", None)
+    if stats is not None:
+        result.stats = stats.as_dict()
+    collect_extra = getattr(predictor, "collect_extra", None)
+    if collect_extra is not None:
+        result.extra = collect_extra()
+    return result

@@ -1,0 +1,112 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run_*`` (structured results) and ``format_*``
+(the text report the corresponding benchmark prints).
+"""
+
+from repro.experiments.export import (
+    export_context_profile,
+    export_per_length_series,
+    export_reduction_rows,
+)
+from repro.experiments.fig01_hw_motivation import Fig1Row, format_fig01, run_fig01
+from repro.experiments.fig04_llbp_accuracy import Fig4Row, format_fig04, run_fig04
+from repro.experiments.fig05_limit_study import format_fig05, run_fig05
+from repro.experiments.fig06_09_analysis import (
+    Fig67Result,
+    format_fig06_07,
+    format_fig08,
+    format_fig09,
+    run_fig06_07,
+    run_fig08,
+    run_fig09,
+)
+from repro.experiments.fig12_mpki_reduction import Fig12Row, format_fig12, run_fig12
+from repro.experiments.fig13_speedup import Fig13Row, format_fig13, run_fig13
+from repro.experiments.fig14_prefetch_overriding import (
+    Fig14aResult,
+    Fig14bRow,
+    format_fig14a,
+    format_fig14b,
+    run_fig14a,
+    run_fig14b,
+)
+from repro.experiments.fig15_bandwidth_energy import Fig15Result, format_fig15, run_fig15
+from repro.experiments.fig16_capacity import (
+    SweepPoint,
+    format_fig16,
+    run_fig16a,
+    run_fig16b,
+)
+from repro.experiments.report import default_branches, default_workloads, format_table
+from repro.experiments.sec7ef_ablation import (
+    BreakdownResult,
+    SensitivityPoint,
+    format_breakdown,
+    format_sensitivity,
+    run_breakdown,
+    run_ctt_sweep,
+    run_hth_sweep,
+)
+from repro.experiments.tables import (
+    PAPER_TABLE_I,
+    TableIRow,
+    format_table1,
+    format_table2,
+    run_table1,
+)
+
+__all__ = [
+    "BreakdownResult",
+    "Fig12Row",
+    "Fig13Row",
+    "Fig14aResult",
+    "Fig14bRow",
+    "Fig15Result",
+    "Fig1Row",
+    "Fig4Row",
+    "Fig67Result",
+    "PAPER_TABLE_I",
+    "SensitivityPoint",
+    "SweepPoint",
+    "TableIRow",
+    "default_branches",
+    "default_workloads",
+    "export_context_profile",
+    "export_per_length_series",
+    "export_reduction_rows",
+    "format_breakdown",
+    "format_fig01",
+    "format_fig04",
+    "format_fig05",
+    "format_fig06_07",
+    "format_fig08",
+    "format_fig09",
+    "format_fig12",
+    "format_fig13",
+    "format_fig14a",
+    "format_fig14b",
+    "format_fig15",
+    "format_fig16",
+    "format_sensitivity",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "run_breakdown",
+    "run_ctt_sweep",
+    "run_fig01",
+    "run_fig04",
+    "run_fig05",
+    "run_fig06_07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14a",
+    "run_fig14b",
+    "run_fig15",
+    "run_fig16a",
+    "run_fig16b",
+    "run_hth_sweep",
+    "run_table1",
+]

@@ -1,0 +1,75 @@
+"""CSV export of figure series.
+
+The benchmarks print text tables; this module exports the same series as
+CSV files so they can be plotted or diffed externally (the paper's
+artifact uses a Jupyter notebook for the same purpose).  Each exporter
+takes the structured results of the corresponding ``run_*`` function.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+from repro.core.analysis import ContextProfile
+from repro.experiments.fig12_mpki_reduction import Fig12Row
+from repro.experiments.fig04_llbp_accuracy import Fig4Row
+
+PathLike = Union[str, Path]
+
+
+def _write(path: PathLike, header: Sequence[str], rows) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_reduction_rows(
+    rows: Sequence[Union[Fig4Row, Fig12Row]], path: PathLike
+) -> Path:
+    """Export Fig 4/12-style per-workload reduction tables."""
+    if not rows:
+        raise ValueError("nothing to export")
+    configs = sorted(rows[0].reductions)
+    return _write(
+        path,
+        ["workload", "baseline_mpki"] + configs,
+        [
+            [row.workload, f"{row.baseline_mpki:.4f}"]
+            + [f"{row.reductions[c]:.3f}" for c in configs]
+            for row in rows
+        ],
+    )
+
+
+def export_context_profile(profile: ContextProfile, path: PathLike) -> Path:
+    """Export the Fig 6/7 sorted per-context series."""
+    return _write(
+        path,
+        ["rank", "useful_patterns", "avg_history_length"],
+        [
+            [rank, count, f"{length:.2f}"]
+            for rank, (count, length) in enumerate(zip(profile.counts, profile.avg_lengths))
+        ],
+    )
+
+
+def export_per_length_series(
+    series: Dict[int, Dict[int, float]], path: PathLike, value_name: str = "value"
+) -> Path:
+    """Export Fig 8/9-style ``{W: {history_length: value}}`` series."""
+    depths = sorted(series)
+    lengths = sorted({length for per in series.values() for length in per})
+    return _write(
+        path,
+        ["history_length"] + [f"{value_name}_W{d}" for d in depths],
+        [
+            [length] + [f"{series[d].get(length, 0.0):.4f}" for d in depths]
+            for length in lengths
+        ],
+    )

@@ -1,0 +1,46 @@
+"""Fig 5: the limit-study ladder over the 0-latency LLBP.
+
+Paper step reductions: +No Design Tweaks 4.6%, +20b Tag 1.3%,
++Inf Contexts 3.9%, +Inf Patterns 9.1%, +No Contextualization 4.3%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.limit_study import LimitStep, run_limit_study
+from repro.core.runner import Runner
+from repro.experiments.report import default_workloads, format_table, pct
+
+PAPER_STEP_REDUCTIONS = {
+    "+No Design Tweaks": 4.6,
+    "+20b Tag": 1.3,
+    "+Inf Contexts": 3.9,
+    "+Inf Patterns": 9.1,
+    "+No Contextualization": 4.3,
+}
+
+
+def run_fig05(runner: Runner, workloads: Optional[Sequence[str]] = None) -> List[LimitStep]:
+    names = list(workloads) if workloads is not None else default_workloads("subset")
+    return run_limit_study(runner, names)
+
+
+def format_fig05(steps: Sequence[LimitStep]) -> str:
+    body = []
+    for step in steps:
+        paper = PAPER_STEP_REDUCTIONS.get(step.label)
+        body.append(
+            [
+                step.label,
+                f"{step.mpki:.3f}",
+                f"{step.normalized:.3f}",
+                pct(step.step_reduction) if step.label != "LLBP-0Lat" else "-",
+                pct(paper) if paper is not None else "-",
+            ]
+        )
+    return format_table(
+        ["configuration", "MPKI", "norm. to LLBP-0Lat", "step red.", "paper step red."],
+        body,
+        title="Fig 5: successively removing LLBP's design constraints",
+    )

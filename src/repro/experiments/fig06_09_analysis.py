@@ -1,0 +1,120 @@
+"""Figs 6-9: the context/pattern analyses motivating LLBP-X.
+
+* Fig 6 -- useful patterns per context, sorted (skew: a few contexts
+  overflow the 16-pattern sets, most are underutilised).
+* Fig 7 -- contended contexts hold the longest-history patterns.
+* Fig 8 -- pattern duplication falls with history length and grows with
+  context depth W.
+* Fig 9 -- short lengths favour W=2, long lengths favour deeper contexts
+  (relative to the W=8 LLBP baseline).
+
+All four run on the paper's analysis workload (NodeApp) by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.analysis import (
+    ContextProfile,
+    context_profile,
+    depth_sweep_relative,
+    duplication_by_depth,
+)
+from repro.core.runner import Runner
+from repro.experiments.report import format_table
+from repro.traces.workloads import ANALYSIS_WORKLOAD
+
+
+@dataclass
+class Fig67Result:
+    profile: ContextProfile
+
+
+def run_fig06_07(runner: Runner, workload: str = ANALYSIS_WORKLOAD) -> Fig67Result:
+    return Fig67Result(profile=context_profile(runner, workload, context_depth=8))
+
+
+def format_fig06_07(result: Fig67Result) -> str:
+    profile = result.profile
+    counts = profile.counts
+    lengths = profile.avg_lengths
+    # decile summary of the sorted per-context curve (what the figure plots)
+    body = []
+    n = len(counts)
+    for decile in range(0, 10):
+        lo = decile * n // 10
+        hi = max(lo + 1, (decile + 1) * n // 10)
+        chunk = counts[lo:hi]
+        chunk_len = lengths[lo:hi]
+        body.append(
+            [
+                f"{10 * decile}-{10 * (decile + 1)}%",
+                f"{max(chunk)}",
+                f"{sum(chunk) / len(chunk):.1f}",
+                f"{sum(chunk_len) / len(chunk_len):.0f}",
+            ]
+        )
+    summary = (
+        f"contexts with useful patterns: {n}; "
+        f"over 16-pattern capacity: {100 * profile.over_capacity_fraction:.1f}% "
+        f"(paper: 14%); <=8 useful: {100 * profile.underutilized_fraction:.1f}% (paper: 68%)\n"
+        f"avg history length, top-10 contexts: "
+        f"{sum(lengths[:10]) / max(1, len(lengths[:10])):.0f}; "
+        f"bottom half: {sum(lengths[n // 2:]) / max(1, len(lengths[n // 2:])):.0f} "
+        "(paper: up to 112 vs 17)"
+    )
+    table = format_table(
+        ["context percentile", "max useful", "mean useful", "mean hist len"],
+        body,
+        title=f"Figs 6+7: useful patterns per context, {profile.workload} (sorted desc)",
+    )
+    return table + "\n" + summary
+
+
+def run_fig08(
+    runner: Runner, workload: str = ANALYSIS_WORKLOAD, depths: Sequence[int] = (2, 8, 64)
+) -> Dict[int, Dict[int, float]]:
+    return duplication_by_depth(runner, workload, depths)
+
+
+def format_fig08(duplication: Dict[int, Dict[int, float]]) -> str:
+    depths = sorted(duplication)
+    lengths: List[int] = sorted({length for per in duplication.values() for length in per})
+    body = []
+    for length in lengths:
+        row = [str(length)]
+        for depth in depths:
+            value = duplication[depth].get(length)
+            row.append(f"{100 * value:.1f}%" if value is not None else "-")
+        body.append(row)
+    return format_table(
+        ["hist length"] + [f"W={d}" for d in depths],
+        body,
+        title="Fig 8: duplicate fraction of useful patterns by history length",
+    )
+
+
+def run_fig09(
+    runner: Runner, workload: str = ANALYSIS_WORKLOAD
+) -> Dict[int, Dict[int, float]]:
+    return depth_sweep_relative(runner, workload, depths=(2, 64), baseline_depth=8)
+
+
+def format_fig09(ratios: Dict[int, Dict[int, float]]) -> str:
+    lengths = sorted({length for per in ratios.values() for length in per})
+    body = []
+    for length in lengths:
+        body.append(
+            [
+                str(length),
+                f"{ratios[2].get(length, 0):.2f}x",
+                f"{ratios[64].get(length, 0):.2f}x",
+            ]
+        )
+    return format_table(
+        ["hist length", "W=2 / W=8", "W=64 / W=8"],
+        body,
+        title="Fig 9: useful predictions per history length relative to W=8",
+    )

@@ -1,0 +1,63 @@
+"""Shared report formatting for the experiment harnesses.
+
+Every experiment module returns structured results plus a
+``format_*`` function producing the text table its benchmark prints, so
+``pytest benchmarks/ --benchmark-only`` regenerates the paper's rows.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+from repro.traces.workloads import GEM5_WORKLOAD_NAMES, WORKLOAD_NAMES
+
+
+def hrule(width: int = 78) -> str:
+    return "-" * width
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = "") -> str:
+    """Fixed-width text table with right-aligned numeric-ish columns."""
+    materialised: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append(hrule(sum(widths) + 2 * len(widths)))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(value: float, signed: bool = True) -> str:
+    return f"{value:+.1f}%" if signed else f"{value:.1f}%"
+
+
+def default_workloads(kind: str = "all") -> List[str]:
+    """Workload set selection honouring the ``REPRO_WORKLOADS`` env knob.
+
+    ``kind`` picks the paper's set for the experiment (``all`` = Table I's
+    14, ``gem5`` = the 10 the gem5 evaluation covers, ``subset`` = a
+    3-workload sample for expensive sweeps); setting ``REPRO_WORKLOADS=quick``
+    trims every set to at most 3 for fast benchmark runs.
+    """
+    if kind == "gem5":
+        names = list(GEM5_WORKLOAD_NAMES)
+    elif kind == "subset":
+        names = ["kafka", "nodeapp", "whiskey"]
+    else:
+        names = list(WORKLOAD_NAMES)
+    if os.environ.get("REPRO_WORKLOADS", "").lower() == "quick":
+        names = names[:3]
+    return names
+
+
+def default_branches() -> int:
+    """Trace length for experiment runs (``REPRO_BRANCHES`` env override)."""
+    return int(os.environ.get("REPRO_BRANCHES", "120000"))

@@ -1,0 +1,39 @@
+"""LLBP and LLBP-X: the hierarchical last-level branch predictor designs."""
+
+from repro.llbp.config import (
+    LLBPConfig,
+    LLBPXConfig,
+    llbp_default,
+    llbp_zero_latency,
+    llbpx_default,
+)
+from repro.llbp.ctt import ContextTrackingTable, CTTEntry
+from repro.llbp.llbp import LLBP, LLBPPrediction
+from repro.llbp.llbpx import DEEP_BIT, LLBPX
+from repro.llbp.pattern import Pattern, PatternSet, UsefulTracker, make_bucket_ranges
+from repro.llbp.pattern_buffer import PatternBuffer, PBEntry
+from repro.llbp.pattern_store import PatternStore
+from repro.llbp.rcr import ContextStreams, rolling_window_hashes
+
+__all__ = [
+    "CTTEntry",
+    "ContextStreams",
+    "ContextTrackingTable",
+    "DEEP_BIT",
+    "LLBP",
+    "LLBPConfig",
+    "LLBPPrediction",
+    "LLBPX",
+    "LLBPXConfig",
+    "PBEntry",
+    "Pattern",
+    "PatternBuffer",
+    "PatternSet",
+    "PatternStore",
+    "UsefulTracker",
+    "llbp_default",
+    "llbp_zero_latency",
+    "llbpx_default",
+    "make_bucket_ranges",
+    "rolling_window_hashes",
+]

@@ -1,0 +1,109 @@
+"""The pattern buffer (PB): LLBP's small in-core staging structure.
+
+The PB caches the pattern sets of recently active and prefetched
+contexts.  It is the only LLBP structure on the prediction path; the
+pattern store is reached exclusively through prefetches (and writebacks).
+Entries carry an availability timestamp so that the multi-cycle
+store-to-PB transfer latency is modelled: a prediction may only use a
+pattern set whose transfer has completed (otherwise the prefetch counts
+as *late*, one of Fig 14a's categories).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+from repro.common.stats import StatGroup
+from repro.llbp.pattern import PatternSet
+
+
+class PBEntry:
+    """A pattern set staged in the pattern buffer."""
+
+    __slots__ = ("pattern_set", "available_at", "used", "late", "from_prefetch", "false_path")
+
+    def __init__(
+        self,
+        pattern_set: PatternSet,
+        available_at: int,
+        from_prefetch: bool,
+        false_path: bool = False,
+    ) -> None:
+        self.pattern_set = pattern_set
+        self.available_at = available_at
+        self.used = False
+        self.late = False  # a use was attempted before the transfer finished
+        self.from_prefetch = from_prefetch
+        self.false_path = false_path
+
+
+class PatternBuffer:
+    """LRU buffer of pattern sets with transfer-latency modelling."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, PBEntry]" = OrderedDict()
+        self.stats = StatGroup("pattern_buffer")
+
+    def __contains__(self, context_id: int) -> bool:
+        return context_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, context_id: int, now: int) -> Tuple[Optional[PatternSet], bool]:
+        """Return ``(pattern_set, late)`` for the active context.
+
+        ``pattern_set`` is ``None`` when the context is absent; ``late``
+        is true when it is present but its transfer has not completed.
+        """
+        entry = self._entries.get(context_id)
+        if entry is None:
+            return None, False
+        if entry.available_at > now:
+            entry.late = True
+            self.stats.add("late_hits")
+            return None, True
+        entry.used = True
+        self._entries.move_to_end(context_id)
+        return entry.pattern_set, False
+
+    def peek(self, context_id: int) -> Optional[PBEntry]:
+        """Access an entry without touching LRU or usage state."""
+        return self._entries.get(context_id)
+
+    def insert(
+        self,
+        context_id: int,
+        pattern_set: PatternSet,
+        available_at: int,
+        from_prefetch: bool,
+        false_path: bool = False,
+    ) -> Optional[Tuple[int, PBEntry]]:
+        """Stage a pattern set; returns the evicted ``(cid, entry)`` if any.
+
+        The caller is responsible for writing back a dirty eviction to the
+        pattern store and for accounting prefetch usefulness.
+        """
+        if context_id in self._entries:
+            entry = self._entries[context_id]
+            entry.available_at = min(entry.available_at, available_at)
+            self._entries.move_to_end(context_id)
+            return None
+        evicted: Optional[Tuple[int, PBEntry]] = None
+        if len(self._entries) >= self.capacity:
+            evicted = self._entries.popitem(last=False)
+            self.stats.add("evictions")
+        self._entries[context_id] = PBEntry(pattern_set, available_at, from_prefetch, false_path)
+        return evicted
+
+    def items(self) -> Iterator[Tuple[int, PBEntry]]:
+        return iter(self._entries.items())
+
+    def drain(self) -> Iterator[Tuple[int, PBEntry]]:
+        """Remove and yield everything (end-of-simulation writeback sweep)."""
+        while self._entries:
+            yield self._entries.popitem(last=False)

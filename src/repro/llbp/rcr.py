@@ -1,0 +1,102 @@
+"""The rolling context register (RCR): context-ID formation from UB history.
+
+A context ID is a hash of the ``W`` unconditional branches that precede
+the ``D`` most recent ones (paper §II-C.2 and Fig 2).  Because the UB
+stream is fixed by the trace, every context ID -- current (CCID) and
+prefetch-trigger (PCID) -- is precomputable.  :class:`ContextStreams`
+computes, per context depth W:
+
+* ``window_hash[k]``: hash of the UB window ending at UB index ``k``
+  (size W, or the available prefix while the register warms up), and
+
+* helpers mapping record positions to UB indices, so a predictor can read
+  its active context as ``window_hash[ub_prefix[t] - D - 1]`` and its
+  prefetch trigger at UB ``k`` as ``window_hash[k]`` (that context becomes
+  active after D further UBs -- the latency-hiding window).
+
+Hashing uses a polynomial rolling hash mod 2**64 finalised with
+:func:`repro.common.mix64`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.common.bitops import mix64
+from repro.tage.streams import TraceTensors
+from repro.traces.record import BranchKind
+
+_B = 0x100000001B3  # odd polynomial base (FNV prime), invertible mod 2^64
+_M = (1 << 64) - 1
+
+
+#: branch kinds that participate in context formation.  Calls and returns
+#: carry the call-chain identity the paper's contexts are built from;
+#: plain direct jumps would only dilute shallow windows, so the rolling
+#: register skips them (they still appear in the trace and in history).
+CONTEXT_KINDS = (int(BranchKind.CALL), int(BranchKind.RETURN))
+
+
+def _ub_values(tensors: TraceTensors) -> List[int]:
+    """Per-context-UB identity values: site plus target (path identity)."""
+    kinds = tensors.kinds
+    pcs = tensors.trace.pcs
+    targets = tensors.trace.targets
+    return [
+        mix64(pcs[t] * 3 ^ targets[t])
+        for t in range(tensors.num_records)
+        if kinds[t] in CONTEXT_KINDS
+    ]
+
+
+def rolling_window_hashes(values: Sequence[int], window: int) -> List[int]:
+    """Hash of the last ``window`` values ending at each position.
+
+    Positions earlier than ``window - 1`` hash the available prefix, which
+    models a warming-up rolling register deterministically.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    hashes: List[int] = []
+    history: List[int] = []
+    b_pow_w = pow(_B, window, 1 << 64)
+    window_sum = 0
+    for k, value in enumerate(values):
+        window_sum = (window_sum * _B + value) & _M
+        if k >= window:
+            window_sum = (window_sum - history[k - window] * b_pow_w) & _M
+        history.append(value)
+        hashes.append(mix64(window_sum))
+    return hashes
+
+
+class ContextStreams:
+    """Precomputed context-ID streams for one trace and several depths W."""
+
+    def __init__(self, tensors: TraceTensors) -> None:
+        self.tensors = tensors
+        is_ub = np.isin(tensors.kinds, CONTEXT_KINDS).astype(np.int64)
+        #: number of context-forming UBs *strictly before* each record
+        self.ub_prefix: List[int] = (np.cumsum(is_ub) - is_ub).tolist()
+        self._values = _ub_values(tensors)
+        self.num_ubs = len(self._values)
+        self._hashes: Dict[int, List[int]] = {}
+
+    def window_hashes(self, depth: int) -> List[int]:
+        """Rolling hashes for context depth ``depth`` (cached)."""
+        if depth not in self._hashes:
+            self._hashes[depth] = rolling_window_hashes(self._values, depth)
+        return self._hashes[depth]
+
+    def context_of_record(self, t: int, depth: int, distance: int) -> int:
+        """Active context ID for the branch at record ``t`` (-1 while cold).
+
+        The context is formed from the ``depth`` UBs preceding the
+        ``distance`` most recent ones, per §II-C.2.
+        """
+        end = self.ub_prefix[t] - distance - 1
+        if end < 0:
+            return -1
+        return self.window_hashes(depth)[end]

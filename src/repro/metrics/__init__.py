@@ -1,0 +1,22 @@
+"""Cost metrics: bandwidth, energy, prefetch effectiveness, storage."""
+
+from repro.metrics.bandwidth import BITS_PER_TRANSACTION, BandwidthReport, bandwidth_report
+from repro.metrics.energy import EnergyReport, StructureGeometry, access_energy, energy_report
+from repro.metrics.prefetch import PrefetchReport, prefetch_report
+from repro.metrics.storage import StorageBudget, llbp_budget, overhead_percent, tsl_budget
+
+__all__ = [
+    "BITS_PER_TRANSACTION",
+    "BandwidthReport",
+    "EnergyReport",
+    "PrefetchReport",
+    "StorageBudget",
+    "StructureGeometry",
+    "access_energy",
+    "bandwidth_report",
+    "energy_report",
+    "llbp_budget",
+    "overhead_percent",
+    "prefetch_report",
+    "tsl_budget",
+]

@@ -1,0 +1,55 @@
+"""Transfer bandwidth between pattern store and pattern buffer (Fig 15a).
+
+Both LLBP and LLBP-X move whole pattern sets; the paper counts 288 bits
+per read or write transaction.  Reads are prefetch/demand fills, writes
+are dirty writebacks; the metric is bits per committed instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.simulator import SimulationResult
+
+#: bits moved per pattern-set transaction (paper §VII-D)
+BITS_PER_TRANSACTION = 288
+
+
+@dataclass
+class BandwidthReport:
+    """Read/write traffic of one LLBP-family run."""
+
+    predictor: str
+    workload: str
+    reads: int
+    writes: int
+    instructions: int
+
+    @property
+    def read_bits_per_instruction(self) -> float:
+        return BITS_PER_TRANSACTION * self.reads / self.instructions if self.instructions else 0.0
+
+    @property
+    def write_bits_per_instruction(self) -> float:
+        return BITS_PER_TRANSACTION * self.writes / self.instructions if self.instructions else 0.0
+
+    @property
+    def bits_per_instruction(self) -> float:
+        return self.read_bits_per_instruction + self.write_bits_per_instruction
+
+
+def bandwidth_report(result: SimulationResult) -> BandwidthReport:
+    """Extract the Fig 15a traffic numbers from a simulation result."""
+    extra = result.extra
+    if "store_reads" not in extra:
+        raise ValueError(
+            f"result for {result.predictor!r} carries no pattern-store traffic; "
+            "bandwidth applies to LLBP-family predictors only"
+        )
+    return BandwidthReport(
+        predictor=result.predictor,
+        workload=result.workload,
+        reads=int(extra["store_reads"]),
+        writes=int(extra["store_writes"]),
+        instructions=result.total_instructions,
+    )

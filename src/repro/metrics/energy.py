@@ -1,0 +1,113 @@
+"""Analytical SRAM access-energy model (the CACTI 7.0 stand-in, Fig 15b).
+
+CACTI is a closed binary, so per-access energies come from a standard
+analytical SRAM law: access energy grows with the square root of capacity
+(bitline/wordline length), linearly with associativity (parallel way
+reads), and linearly with the accessed width.  Absolute joules are not
+meaningful -- the model is used exactly as the paper uses CACTI: to weigh
+per-structure access counts into a *relative* energy comparison between
+LLBP-X and LLBP.
+
+Structures and access weights follow §VII-D: the PB is accessed every
+cycle, CD and CTT on every (context-forming) unconditional branch, the
+pattern store on directory hits and writebacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.simulator import SimulationResult
+from repro.llbp.config import LLBPConfig, LLBPXConfig
+
+
+@dataclass(frozen=True)
+class StructureGeometry:
+    """What the energy law needs to know about one SRAM structure."""
+
+    name: str
+    capacity_bits: int
+    assoc: int
+    access_bits: int  # width of one access
+
+
+def access_energy(geometry: StructureGeometry) -> float:
+    """Relative energy of one access (arbitrary units).
+
+    ``E = (0.2 + 0.05 * sqrt(capacity_kbit)) * (1 + 0.08 * assoc) *
+    (access_bits / 64)``: the constants give CACTI-like ratios between
+    KB-scale and hundreds-of-KB-scale structures at 22nm.
+    """
+    capacity_kbit = geometry.capacity_bits / 1024.0
+    size_term = 0.2 + 0.05 * math.sqrt(capacity_kbit)
+    assoc_term = 1.0 + 0.08 * geometry.assoc
+    width_term = geometry.access_bits / 64.0
+    return size_term * assoc_term * width_term
+
+
+def _geometries(config: LLBPConfig) -> Dict[str, StructureGeometry]:
+    pattern_bits = config.pattern_tag_bits + config.pattern_counter_bits + 5
+    set_bits = config.patterns_per_set * pattern_bits
+    out = {
+        "pattern_store": StructureGeometry(
+            "pattern_store",
+            capacity_bits=config.effective_contexts * set_bits,
+            assoc=1,  # modelled direct-mapped, as in the paper
+            access_bits=set_bits,
+        ),
+        "context_directory": StructureGeometry(
+            "context_directory",
+            capacity_bits=config.effective_contexts * (config.context_tag_bits + 3),
+            assoc=config.store_assoc,
+            access_bits=8,
+        ),
+        "pattern_buffer": StructureGeometry(
+            "pattern_buffer",
+            capacity_bits=config.pattern_buffer_entries * set_bits,
+            assoc=4,
+            access_bits=set_bits,
+        ),
+    }
+    if isinstance(config, LLBPXConfig):
+        entry_bits = config.ctt_tag_bits + config.avg_hist_len_bits + 1 + 2
+        out["ctt"] = StructureGeometry(
+            "ctt",
+            capacity_bits=config.effective_ctt_entries * entry_bits,
+            assoc=config.ctt_assoc,
+            access_bits=16,
+        )
+    return out
+
+
+@dataclass
+class EnergyReport:
+    """Per-structure energy of one LLBP-family run (arbitrary units)."""
+
+    predictor: str
+    workload: str
+    per_structure: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_structure.values())
+
+
+def energy_report(result: SimulationResult, config: LLBPConfig) -> EnergyReport:
+    """Weigh access counts from a run into the Fig 15b energy comparison."""
+    geometries = _geometries(config)
+    energies = {name: access_energy(geometry) for name, geometry in geometries.items()}
+    ub_accesses = result.stats.get("unconditional_branches", 0)
+    store_accesses = result.extra.get("store_reads", 0.0) + result.extra.get("store_writes", 0.0)
+    per_structure = {
+        # the PB is probed every cycle (~ every instruction)
+        "pattern_buffer": energies["pattern_buffer"] * result.total_instructions,
+        "context_directory": energies["context_directory"] * ub_accesses,
+        "pattern_store": energies["pattern_store"] * store_accesses,
+    }
+    if "ctt" in energies:
+        per_structure["ctt"] = energies["ctt"] * ub_accesses
+    return EnergyReport(
+        predictor=result.predictor, workload=result.workload, per_structure=per_structure
+    )

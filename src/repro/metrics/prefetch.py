@@ -1,0 +1,67 @@
+"""Prefetch effectiveness classification (Fig 14a).
+
+Every pattern-set prefetch ends in exactly one category when it leaves
+the pattern buffer (or at the end of simulation):
+
+* **timely** -- the set arrived before its first use;
+* **late**   -- a prediction wanted the set while its transfer was still
+  in flight;
+* **unused** -- the set was evicted (or survived to the end) without ever
+  providing a lookup.
+
+Coverage is the fraction of prefetches that were ever used; the
+over-prefetch ratio is the unused fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.simulator import SimulationResult
+
+
+@dataclass
+class PrefetchReport:
+    """Aggregate prefetch classification of one LLBP-family run."""
+
+    predictor: str
+    workload: str
+    timely: int
+    late: int
+    unused: int
+    false_path_issued: int
+
+    @property
+    def total(self) -> int:
+        return self.timely + self.late + self.unused
+
+    @property
+    def timely_fraction(self) -> float:
+        return self.timely / self.total if self.total else 0.0
+
+    @property
+    def late_fraction(self) -> float:
+        return self.late / self.total if self.total else 0.0
+
+    @property
+    def unused_fraction(self) -> float:
+        """The over-prefetch ratio of Fig 14a."""
+        return self.unused / self.total if self.total else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of prefetches that served at least one prediction."""
+        return (self.timely + self.late) / self.total if self.total else 0.0
+
+
+def prefetch_report(result: SimulationResult) -> PrefetchReport:
+    """Extract Fig 14a's categories from a simulation result."""
+    stats = result.stats
+    return PrefetchReport(
+        predictor=result.predictor,
+        workload=result.workload,
+        timely=stats.get("prefetch_timely", 0),
+        late=stats.get("prefetch_late", 0),
+        unused=stats.get("prefetch_unused", 0),
+        false_path_issued=stats.get("false_path_issued", 0),
+    )

@@ -1,0 +1,66 @@
+"""Storage-budget accounting for predictor configurations.
+
+Reproduces the paper's budget statements: the 64K TSL baseline, LLBP's
+515KB total, and LLBP-X's +9.36KB (+1.8%) overhead from the CTT, the
+extended RCR, and the extra CD replacement bit (§V-D.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llbp.config import LLBPConfig, LLBPXConfig
+from repro.tage.config import TageConfig
+
+
+@dataclass
+class StorageBudget:
+    """Bit-level storage budget of one predictor configuration."""
+
+    name: str
+    tage_bits: int
+    second_level_bits: int  # pattern store + CD (+ CTT for LLBP-X)
+    rcr_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.tage_bits + self.second_level_bits + self.rcr_bits
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8192.0
+
+
+def tsl_budget(config: TageConfig) -> StorageBudget:
+    return StorageBudget(
+        name=config.name,
+        tage_bits=config.storage_bits(),
+        second_level_bits=0,
+        rcr_bits=0,
+    )
+
+
+def llbp_budget(llbp: LLBPConfig, tage: TageConfig) -> StorageBudget:
+    """Budget of an LLBP/LLBP-X system over its first-level TSL.
+
+    The RCR holds ``D + W`` unconditional branch addresses (28 bits
+    each); LLBP-X's deep depth extends it to 64 entries, the +224B
+    overhead the paper quotes.
+    """
+    depth = llbp.context_depth
+    if isinstance(llbp, LLBPXConfig):
+        depth = llbp.deep_depth
+    rcr_bits = (llbp.prefetch_distance + depth) * 28
+    return StorageBudget(
+        name=llbp.name,
+        tage_bits=tage.storage_bits(),
+        second_level_bits=llbp.storage_bits(),
+        rcr_bits=rcr_bits,
+    )
+
+
+def overhead_percent(base: StorageBudget, extended: StorageBudget) -> float:
+    """Relative storage overhead of ``extended`` vs ``base`` in percent."""
+    if base.total_bits == 0:
+        raise ValueError("base budget is empty")
+    return 100.0 * (extended.total_bits - base.total_bits) / base.total_bits

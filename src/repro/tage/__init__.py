@@ -1,0 +1,61 @@
+"""TAGE-SC-L: the baseline predictor of the paper and LLBP's first level."""
+
+from repro.tage.config import (
+    DEEP_HISTORY_LENGTHS,
+    HISTORY_LENGTHS,
+    LLBP_HISTORY_LENGTHS,
+    SC_HISTORY_LENGTHS,
+    SHALLOW_HISTORY_LENGTHS,
+    TageConfig,
+    history_length_index,
+    preset_by_name,
+    tsl_128k,
+    tsl_256k,
+    tsl_512k,
+    tsl_64k,
+    tsl_infinite,
+    tsl_small,
+)
+from repro.tage.loop_predictor import LoopPrediction, LoopPredictor
+from repro.tage.statistical_corrector import SCPrediction, StatisticalCorrector
+from repro.tage.streams import (
+    TraceTensors,
+    build_index_streams,
+    build_tag_streams,
+    folded_stream,
+    history_bits,
+    xor_fold,
+)
+from repro.tage.tage import TageCore, TagePrediction
+from repro.tage.tsl import TSLPrediction, TageSCL
+
+__all__ = [
+    "DEEP_HISTORY_LENGTHS",
+    "HISTORY_LENGTHS",
+    "LLBP_HISTORY_LENGTHS",
+    "LoopPrediction",
+    "LoopPredictor",
+    "SCPrediction",
+    "SC_HISTORY_LENGTHS",
+    "SHALLOW_HISTORY_LENGTHS",
+    "StatisticalCorrector",
+    "TSLPrediction",
+    "TageConfig",
+    "TageCore",
+    "TagePrediction",
+    "TageSCL",
+    "TraceTensors",
+    "build_index_streams",
+    "build_tag_streams",
+    "folded_stream",
+    "history_bits",
+    "history_length_index",
+    "preset_by_name",
+    "tsl_128k",
+    "tsl_256k",
+    "tsl_512k",
+    "tsl_64k",
+    "tsl_infinite",
+    "tsl_small",
+    "xor_fold",
+]

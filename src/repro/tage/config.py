@@ -1,0 +1,197 @@
+"""TAGE-SC-L configuration and the paper's predictor presets.
+
+The paper's baseline is a 64KB TAGE-SC-L ("64K TSL") with 21 tagged
+tables whose geometric history lengths span 6..3000 bits.  The length
+series below is constructed so that every anchor the paper cites (6, 37,
+78, 112, 232, 1444, 3000) appears exactly, and so that
+
+* ``lengths[0:16]`` spans 6..232   (LLBP-X's *shallow* history range), and
+* ``lengths[5:21]`` spans 37..3000 (LLBP-X's *deep* history range),
+
+as §VI of the paper specifies.
+
+Presets keep the paper's names and capacity *ratios* while allowing a
+``scale`` divisor on table entries so pure-Python simulation of the
+capacity regime stays tractable (see DESIGN.md §1, "Scaled presets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+#: the 21 geometric history lengths of the baseline TAGE (see module docstring)
+HISTORY_LENGTHS: Tuple[int, ...] = (
+    6, 9, 12, 18, 26,
+    37, 44, 53, 64, 78,
+    93, 112, 134, 161, 193,
+    232, 360, 600, 960, 1444, 3000,
+)
+
+#: LLBP-X's shallow (W=2) history range: the 16 shortest lengths, 6..232
+SHALLOW_HISTORY_LENGTHS: Tuple[int, ...] = HISTORY_LENGTHS[0:16]
+
+#: LLBP-X's deep (W=64) history range: the 16 longest lengths, 37..3000
+DEEP_HISTORY_LENGTHS: Tuple[int, ...] = HISTORY_LENGTHS[5:21]
+
+#: the 16 of 21 lengths the *original* LLBP keeps (paper §II-C.4); chosen
+#: here as an even spread over the full range, grouped into 4 buckets of 4
+LLBP_HISTORY_LENGTHS: Tuple[int, ...] = (
+    6, 12, 18, 26,
+    37, 53, 78, 112,
+    134, 193, 232, 360,
+    600, 960, 1444, 3000,
+)
+
+#: statistical corrector GEHL history lengths (0 = bias table)
+SC_HISTORY_LENGTHS: Tuple[int, ...] = (0, 4, 10, 18, 32)
+
+
+def _check_ranges() -> None:
+    assert SHALLOW_HISTORY_LENGTHS[0] == 6 and SHALLOW_HISTORY_LENGTHS[-1] == 232
+    assert DEEP_HISTORY_LENGTHS[0] == 37 and DEEP_HISTORY_LENGTHS[-1] == 3000
+    assert set(LLBP_HISTORY_LENGTHS) <= set(HISTORY_LENGTHS)
+
+
+_check_ranges()
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Geometry and policy knobs for one TAGE-SC-L instance."""
+
+    name: str = "tsl_64k"
+    history_lengths: Tuple[int, ...] = HISTORY_LENGTHS
+    log2_entries: int = 10  # entries per tagged table = 2**log2_entries
+    log2_bimodal: int = 13
+    tag_bits_short: int = 9  # tables with the 10 shortest histories
+    tag_bits_long: int = 12
+    counter_bits: int = 3
+    useful_bits: int = 1
+    scale: int = 1  # divides table entry counts (capacity scaling, DESIGN.md §1)
+    infinite: bool = False  # unlimited associativity + PC tagging (Inf TSL)
+    use_sc: bool = True
+    use_loop: bool = True
+    sc_log2_entries: int = 10
+    sc_counter_bits: int = 6
+    loop_entries: int = 64
+    # deterministic pseudo-random allocation stream seed
+    alloc_seed: int = 0xA110C
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError(f"scale must be >= 1, got {self.scale}")
+        if self.log2_entries < 1:
+            raise ValueError(f"log2_entries must be >= 1, got {self.log2_entries}")
+        if not self.history_lengths:
+            raise ValueError("need at least one history length")
+        if list(self.history_lengths) != sorted(self.history_lengths):
+            raise ValueError("history lengths must be sorted ascending")
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.history_lengths)
+
+    @property
+    def entries_per_table(self) -> int:
+        """Effective entries per tagged table after capacity scaling."""
+        return max(4, (1 << self.log2_entries) // self.scale)
+
+    @property
+    def bimodal_entries(self) -> int:
+        return max(16, (1 << self.log2_bimodal) // self.scale)
+
+    @property
+    def sc_entries(self) -> int:
+        """SC tables are *not* capacity-scaled: the paper's sweeps vary TAGE
+        table entries "while maintaining the configuration of Statistical
+        Corrector and loop predictor" (§VII-G), and the capacity story under
+        study lives in the pattern tables, not the corrector."""
+        return 1 << self.sc_log2_entries
+
+    def tag_bits(self, table: int) -> int:
+        """Tag width of a given tagged table (short histories use fewer bits)."""
+        return self.tag_bits_short if table < min(10, self.num_tables // 2) else self.tag_bits_long
+
+    def storage_bits(self) -> int:
+        """Approximate predictor storage in bits (for reports and budgets)."""
+        if self.infinite:
+            raise ValueError("infinite predictor has no storage budget")
+        tagged = sum(
+            self.entries_per_table * (self.tag_bits(i) + self.counter_bits + self.useful_bits)
+            for i in range(self.num_tables)
+        )
+        bimodal = self.bimodal_entries * 2
+        sc = len(SC_HISTORY_LENGTHS) * self.sc_entries * self.sc_counter_bits if self.use_sc else 0
+        loop = self.loop_entries * 48 if self.use_loop else 0
+        return tagged + bimodal + sc + loop
+
+    def scaled(self, scale: int) -> "TageConfig":
+        return replace(self, scale=scale, name=f"{self.name}@/{scale}")
+
+
+# ---------------------------------------------------------------------------
+# Presets.  Logical (scale=1) sizes follow the paper: the 64K TSL has 1K
+# entries per tagged table; capacity steps multiply entries by 2x per
+# doubling.  The "Inf" preset removes capacity limits and aliasing.
+# ---------------------------------------------------------------------------
+
+
+def tsl_64k(scale: int = 1) -> TageConfig:
+    """The paper's baseline 64KB TAGE-SC-L."""
+    return TageConfig(name="tsl_64k", log2_entries=10, log2_bimodal=13, scale=scale)
+
+
+def tsl_128k(scale: int = 1) -> TageConfig:
+    return TageConfig(name="tsl_128k", log2_entries=11, log2_bimodal=14, scale=scale)
+
+
+def tsl_256k(scale: int = 1) -> TageConfig:
+    return TageConfig(name="tsl_256k", log2_entries=12, log2_bimodal=14, scale=scale)
+
+
+def tsl_512k(scale: int = 1) -> TageConfig:
+    """The idealised 0-latency 512KB TSL used as the paper's upper bound."""
+    return TageConfig(name="tsl_512k", log2_entries=13, log2_bimodal=15, scale=scale)
+
+
+def tsl_infinite() -> TageConfig:
+    """Infinite TSL: unlimited associativity, PC-tagged entries, no aliasing."""
+    return TageConfig(name="tsl_inf", infinite=True)
+
+
+def tsl_small(log2_entries: int, scale: int = 1) -> TageConfig:
+    """Reduced-capacity baselines for the Fig 16b sweep (8K..32K TSL)."""
+    name = {7: "tsl_8k", 8: "tsl_16k", 9: "tsl_32k", 10: "tsl_64k"}.get(
+        log2_entries, f"tsl_2^{log2_entries}"
+    )
+    bimodal = log2_entries + 3
+    return TageConfig(name=name, log2_entries=log2_entries, log2_bimodal=bimodal, scale=scale)
+
+
+def preset_by_name(name: str, scale: int = 1) -> TageConfig:
+    """Look up a TSL preset by its report name (e.g. ``"tsl_512k"``)."""
+    presets = {
+        "tsl_8k": lambda: tsl_small(7, scale),
+        "tsl_16k": lambda: tsl_small(8, scale),
+        "tsl_32k": lambda: tsl_small(9, scale),
+        "tsl_64k": lambda: tsl_64k(scale),
+        "tsl_128k": lambda: tsl_128k(scale),
+        "tsl_256k": lambda: tsl_256k(scale),
+        "tsl_512k": lambda: tsl_512k(scale),
+        "tsl_inf": tsl_infinite,
+    }
+    if name not in presets:
+        raise KeyError(f"unknown TSL preset {name!r}; known: {', '.join(presets)}")
+    return presets[name]()
+
+
+_LENGTH_INDEX = {length: i for i, length in enumerate(HISTORY_LENGTHS)}
+
+
+def history_length_index(length: int) -> int:
+    """Position of ``length`` in the canonical 21-length series."""
+    try:
+        return _LENGTH_INDEX[length]
+    except KeyError:
+        raise ValueError(f"{length} is not one of the canonical history lengths") from None

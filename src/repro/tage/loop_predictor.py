@@ -1,0 +1,112 @@
+"""The loop-exit predictor component of TAGE-SC-L.
+
+Captures loops with near-constant trip counts: once the same iteration
+count has been observed enough consecutive times (confidence saturates),
+the predictor supplies "taken until the recorded trip count, then exit",
+overriding TAGE.  Modelled after the CBP-5 TAGE-SC-L loop predictor with
+direct-mapped entries and age-based reallocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.stats import StatGroup
+
+_CONF_MAX = 7
+_AGE_MAX = 255
+
+
+@dataclass
+class _LoopEntry:
+    tag: int = -1
+    past_iter: int = 0
+    current_iter: int = 0
+    confidence: int = 0
+    age: int = 0
+    direction: bool = True  # the direction taken while looping
+
+
+@dataclass
+class LoopPrediction:
+    """Result of a loop-predictor lookup."""
+
+    valid: bool  # entry found and confident
+    pred: bool
+    entry_index: int
+
+
+class LoopPredictor:
+    """A small direct-mapped table of loop trip counts."""
+
+    def __init__(self, entries: int = 64) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self._mask = entries - 1
+        self._entries = [_LoopEntry() for _ in range(entries)]
+        self.stats = StatGroup("loop")
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _tag(self, pc: int) -> int:
+        return (pc >> 2) & 0x3FFF
+
+    def predict(self, pc: int) -> LoopPrediction:
+        idx = self._index(pc)
+        entry = self._entries[idx]
+        if entry.tag != self._tag(pc) or entry.confidence < _CONF_MAX:
+            return LoopPrediction(valid=False, pred=True, entry_index=idx)
+        exiting = entry.current_iter >= entry.past_iter
+        return LoopPrediction(valid=True, pred=(not entry.direction) if exiting else entry.direction, entry_index=idx)
+
+    def update(self, pc: int, taken: bool, tage_mispredicted: bool) -> None:
+        """Track iteration counts; allocate on TAGE mispredictions."""
+        idx = self._index(pc)
+        tag = self._tag(pc)
+        entry = self._entries[idx]
+
+        if entry.tag == tag:
+            if taken == entry.direction:
+                entry.current_iter += 1
+                if entry.current_iter > 0xFFFF:  # runaway loop; give up
+                    self._reset(entry)
+            else:
+                if entry.past_iter == 0:
+                    entry.past_iter = entry.current_iter
+                    entry.confidence = 1
+                elif entry.current_iter == entry.past_iter:
+                    entry.confidence = min(_CONF_MAX, entry.confidence + 1)
+                    entry.age = min(_AGE_MAX, entry.age + 1)
+                else:
+                    # trip count changed: retrain
+                    entry.past_iter = entry.current_iter
+                    entry.confidence = 0
+                entry.current_iter = 0
+            return
+
+        if tage_mispredicted:
+            if entry.age > 0:
+                entry.age -= 1
+            else:
+                entry.tag = tag
+                entry.past_iter = 0
+                entry.current_iter = 1 if taken else 0
+                entry.confidence = 0
+                entry.age = _AGE_MAX // 2
+                entry.direction = taken
+                self.stats.add("allocations")
+
+    @staticmethod
+    def _reset(entry: _LoopEntry) -> None:
+        entry.tag = -1
+        entry.past_iter = 0
+        entry.current_iter = 0
+        entry.confidence = 0
+        entry.age = 0
+
+    def entry_state(self, pc: int) -> Optional[_LoopEntry]:
+        """Peek at the entry a pc maps to (tests/diagnostics)."""
+        entry = self._entries[self._index(pc)]
+        return entry if entry.tag == self._tag(pc) else None

@@ -1,0 +1,178 @@
+"""Vectorised precomputation of folded-history index/tag streams.
+
+Trace-driven simulation has a property this module exploits aggressively:
+branch *outcomes* come from the trace, never from the predictor, so the
+global history -- and therefore every folded history, table index, and
+tag -- is a pure function of the trace.  We precompute those streams for
+the whole trace with numpy once, and the per-branch simulation loop just
+reads ``stream[table][t]``, which makes a 21-table TAGE tractable in
+pure Python.
+
+Folded-history math.  At record ``t`` the fold of window length ``L``
+into width ``w`` is::
+
+    folded[t] = XOR_{a=0}^{L-1}  b[t-1-a] << (a % w)
+
+(the bit of age ``a`` has been rotated ``a`` times since insertion, so it
+sits at position ``a % w`` -- identical to the incremental
+:class:`repro.common.FoldedHistory`).  Grouping ages by residue ``p = a %
+w`` turns each output bit into a parity of a strided subsequence of the
+bit stream, which is a difference of strided XOR-prefix sums -- ``O(w)``
+vector operations per (L, w) pair instead of ``O(L)``.
+
+History-bit convention: conditional branches contribute their outcome;
+unconditional branches contribute a *target-derived* bit, which is what
+makes call paths visible to long-history pattern matching (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.record import BranchKind, Trace
+
+#: fold widths of the wide master streams; per-config widths are derived
+#: from these by XOR-folding down (which preserves dependence on all ages)
+WIDE_INDEX_BITS = 14
+WIDE_TAG1_BITS = 20
+WIDE_TAG2_BITS = 19
+
+
+def history_bits(trace: Trace) -> np.ndarray:
+    """Per-record global-history bit (uint8): outcome or target bit."""
+    kinds = np.asarray(trace.kinds, dtype=np.int8)
+    taken = np.asarray(trace.taken, dtype=np.uint8)
+    targets = np.asarray(trace.targets, dtype=np.uint64)
+    ub_bits = ((targets >> np.uint64(2)) ^ (targets >> np.uint64(5))).astype(np.uint8) & 1
+    return np.where(kinds == int(BranchKind.COND), taken, ub_bits).astype(np.uint8)
+
+
+def _strided_prefix_xor(bits: np.ndarray, stride: int) -> np.ndarray:
+    """``C[t] = bits[t] ^ C[t - stride]`` for all t, vectorised.
+
+    Computed as a parity cumsum along each of the ``stride`` interleaved
+    columns.
+    """
+    n = len(bits)
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    rows = -(-n // stride)  # ceil division
+    padded = np.zeros(rows * stride, dtype=np.int64)
+    padded[:n] = bits
+    columns = padded.reshape(rows, stride)
+    prefix = np.cumsum(columns, axis=0) & 1
+    return prefix.reshape(-1)[:n].astype(np.uint8)
+
+
+def folded_stream(bits: np.ndarray, length: int, width: int) -> np.ndarray:
+    """``folded[t]`` (per module docstring) for every record, as int32.
+
+    ``folded[t]`` covers records ``t-1 .. t-L``; records before the trace
+    start count as 0, matching a predictor that begins with empty history.
+    """
+    if length <= 0 or width <= 0:
+        raise ValueError(f"length and width must be positive, got {length}, {width}")
+    n = len(bits)
+    prefix = _strided_prefix_xor(bits, width).astype(np.int64)
+    # Left-pad with zeros so all window offsets index directly (records
+    # before the trace start have zero history).
+    pad = length + 2 * width + 2
+    padded = np.concatenate([np.zeros(pad, dtype=np.int64), prefix])
+    base = np.arange(pad - 1, pad - 1 + n, dtype=np.int64)  # position of t-1
+    folded = np.zeros(n, dtype=np.int64)
+    for p in range(min(width, length)):
+        count = -(-(length - p) // width)  # ages p, p+w, ... below length
+        term = padded[base - p] ^ padded[base - p - count * width]
+        folded |= term << p
+    return folded.astype(np.int32)
+
+
+def xor_fold(values: np.ndarray, from_bits: int, to_bits: int) -> np.ndarray:
+    """Fold a ``from_bits``-wide value down to ``to_bits`` by XOR of chunks."""
+    if to_bits <= 0:
+        raise ValueError(f"to_bits must be positive, got {to_bits}")
+    out = values.astype(np.int64)
+    if to_bits < from_bits:
+        folded = np.zeros_like(out)
+        shift = 0
+        while shift < from_bits:
+            folded ^= out >> shift
+            shift += to_bits
+        out = folded
+    return out & ((1 << to_bits) - 1)
+
+
+class TraceTensors:
+    """Per-trace cache of history bits and wide folded streams.
+
+    One instance is shared by every predictor configuration simulated on
+    the same trace; folds are computed lazily per (length, width) pair.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.num_records = len(trace)
+        self.bits = history_bits(trace)
+        self.pcs = np.asarray(trace.pcs, dtype=np.int64)
+        self.kinds = np.asarray(trace.kinds, dtype=np.int8)
+        # instruction index of each record (cumulative clock for timing)
+        gaps = np.asarray(trace.inst_gaps, dtype=np.int64)
+        self.instr_index = np.cumsum(gaps + 1)
+        self._folds: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def fold(self, length: int, width: int) -> np.ndarray:
+        key = (length, width)
+        if key not in self._folds:
+            self._folds[key] = folded_stream(self.bits, length, width)
+        return self._folds[key]
+
+    def release_folds(self) -> None:
+        """Free fold memory (runner calls this between workloads)."""
+        self._folds.clear()
+
+
+def _as_arrays(matrix: np.ndarray) -> List[array]:
+    """Convert an (n_tables, T) int array to compact per-table ``array('l')``.
+
+    ``array`` indexing returns plain Python ints faster than numpy scalar
+    indexing and stores 8 bytes per element with no object overhead.
+    """
+    return [array("l", row.tolist()) for row in matrix]
+
+
+def build_index_streams(
+    tensors: TraceTensors,
+    lengths: Sequence[int],
+    index_bits: Sequence[int],
+) -> List[array]:
+    """Per-table index stream: hash of pc and folded history."""
+    if len(lengths) != len(index_bits):
+        raise ValueError("lengths and index_bits must align")
+    pcs = tensors.pcs >> 2
+    rows = []
+    for table, (length, bits) in enumerate(zip(lengths, index_bits)):
+        fold = tensors.fold(length, WIDE_INDEX_BITS)
+        mixed = pcs ^ (pcs >> bits) ^ (np.int64(table + 1) * np.int64(0x9E37)) ^ fold.astype(np.int64)
+        rows.append(xor_fold(mixed, max(WIDE_INDEX_BITS, 30), bits))
+    return _as_arrays(np.stack(rows))
+
+
+def build_tag_streams(
+    tensors: TraceTensors,
+    lengths: Sequence[int],
+    tag_bits: Sequence[int],
+) -> List[array]:
+    """Per-table tag stream: pc mixed with two independent folds."""
+    if len(lengths) != len(tag_bits):
+        raise ValueError("lengths and tag_bits must align")
+    pcs = tensors.pcs >> 2
+    rows = []
+    for length, bits in zip(lengths, tag_bits):
+        fold1 = tensors.fold(length, WIDE_TAG1_BITS).astype(np.int64)
+        fold2 = tensors.fold(length, WIDE_TAG2_BITS).astype(np.int64)
+        mixed = pcs ^ (pcs >> 5) ^ fold1 ^ (fold2 << 1)
+        rows.append(xor_fold(mixed, max(WIDE_TAG1_BITS + 1, 30), bits))
+    return _as_arrays(np.stack(rows))

@@ -1,0 +1,21 @@
+"""Analytical timing models replacing the paper's gem5 evaluation."""
+
+from repro.timing.machines import (
+    MachineConfig,
+    TABLE_II,
+    sapphire_rapids_like,
+    skylake_like,
+    table_ii_machine,
+)
+from repro.timing.pipeline import TimingBreakdown, evaluate_timing, speedup
+
+__all__ = [
+    "MachineConfig",
+    "TABLE_II",
+    "TimingBreakdown",
+    "evaluate_timing",
+    "sapphire_rapids_like",
+    "skylake_like",
+    "speedup",
+    "table_ii_machine",
+]

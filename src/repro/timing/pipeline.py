@@ -1,0 +1,95 @@
+"""Analytical pipeline timing: the gem5 stand-in (DESIGN.md §1).
+
+The paper's speedup results (Figs 13, 14b) are small deltas dominated by
+two terms the trace-driven simulation measures exactly -- misprediction
+counts and frontend redirects.  This model keeps precisely those terms::
+
+    cycles = instructions / width                     (ideal issue)
+           + other_stall_cpi * instructions           (non-branch stalls)
+           + mispredictions * flush_penalty           (branch flushes)
+           + fast_path_overrides * override_penalty   (optional, Fig 14b)
+
+Speedups are ratios of ``cycles`` between predictor configurations on the
+same machine; Fig 1's stall-share analysis reads the components directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.simulator import SimulationResult
+from repro.timing.machines import MachineConfig
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle accounting for one (machine, predictor, workload) run."""
+
+    machine: str
+    predictor: str
+    workload: str
+    instructions: int
+    base_cycles: float
+    other_stall_cycles: float
+    branch_stall_cycles: float
+    override_stall_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.base_cycles
+            + self.other_stall_cycles
+            + self.branch_stall_cycles
+            + self.override_stall_cycles
+        )
+
+    @property
+    def cpi(self) -> float:
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_stall_share(self) -> float:
+        """Fraction of *stall* cycles attributable to branch mispredictions
+        (the right-hand metric of Fig 1)."""
+        stalls = self.other_stall_cycles + self.branch_stall_cycles + self.override_stall_cycles
+        return self.branch_stall_cycles / stalls if stalls else 0.0
+
+
+def evaluate_timing(
+    result: SimulationResult,
+    machine: MachineConfig,
+    model_overriding: bool = False,
+) -> TimingBreakdown:
+    """Apply the analytical cycle model to a simulation result."""
+    instructions = result.instructions
+    overrides = 0
+    if model_overriding:
+        # measured over the whole trace; scale to the measurement window
+        total = result.stats.get("predictions", 0)
+        raw = result.stats.get("fast_path_overrides", 0)
+        window = result.conditional_branches
+        overrides = int(raw * (window / total)) if total else 0
+    return TimingBreakdown(
+        machine=machine.name,
+        predictor=result.predictor,
+        workload=result.workload,
+        instructions=instructions,
+        base_cycles=instructions / machine.width,
+        other_stall_cycles=machine.other_stall_cpi * instructions,
+        branch_stall_cycles=result.mispredictions * machine.flush_penalty,
+        override_stall_cycles=overrides * machine.override_penalty if model_overriding else 0.0,
+    )
+
+
+def speedup(
+    baseline: SimulationResult,
+    improved: SimulationResult,
+    machine: MachineConfig,
+    model_overriding: bool = False,
+) -> float:
+    """Percent speedup of ``improved`` over ``baseline`` on ``machine``."""
+    base = evaluate_timing(baseline, machine, model_overriding).total_cycles
+    new = evaluate_timing(improved, machine, model_overriding).total_cycles
+    if new == 0:
+        raise ValueError("improved configuration has zero cycles")
+    return 100.0 * (base / new - 1.0)

@@ -1,0 +1,75 @@
+"""Synthetic server-workload traces (the data substrate of the reproduction).
+
+Real gem5 / Google datacenter traces are network-gated, so this package
+generates synthetic programs whose branch streams exhibit the structural
+properties every mechanism in the paper keys on; see DESIGN.md §1.
+"""
+
+from repro.traces.behaviors import (
+    Behavior,
+    BehaviorContext,
+    BiasedBehavior,
+    GlobalCorrelatedBehavior,
+    LocalPatternBehavior,
+    LoopBehavior,
+    PathCorrelatedBehavior,
+    RandomBehavior,
+)
+from repro.traces.characterize import WorkloadProfile, characterize
+from repro.traces.cfg import (
+    CallSite,
+    CondSite,
+    Function,
+    JumpSite,
+    LoopSite,
+    PcAllocator,
+    Program,
+)
+from repro.traces.generator import TraceGenerator, generate_trace
+from repro.traces.io import load_trace, save_trace
+from repro.traces.record import BranchKind, BranchRecord, Trace
+from repro.traces.workloads import (
+    ANALYSIS_WORKLOAD,
+    GEM5_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    WorkloadSpec,
+    build_program,
+    clear_trace_cache,
+    generate_workload,
+    workload_spec,
+)
+
+__all__ = [
+    "ANALYSIS_WORKLOAD",
+    "Behavior",
+    "BehaviorContext",
+    "BiasedBehavior",
+    "BranchKind",
+    "BranchRecord",
+    "CallSite",
+    "CondSite",
+    "Function",
+    "GEM5_WORKLOAD_NAMES",
+    "GlobalCorrelatedBehavior",
+    "JumpSite",
+    "LocalPatternBehavior",
+    "LoopBehavior",
+    "LoopSite",
+    "PathCorrelatedBehavior",
+    "PcAllocator",
+    "Program",
+    "RandomBehavior",
+    "Trace",
+    "TraceGenerator",
+    "WORKLOAD_NAMES",
+    "WorkloadProfile",
+    "WorkloadSpec",
+    "build_program",
+    "characterize",
+    "clear_trace_cache",
+    "generate_trace",
+    "generate_workload",
+    "load_trace",
+    "save_trace",
+    "workload_spec",
+]

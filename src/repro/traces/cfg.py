@@ -1,0 +1,158 @@
+"""Synthetic program model: functions, call sites, loops, branch sites.
+
+A synthetic *program* is a DAG of functions (callees always have a higher
+index than their callers, so execution always terminates).  Each function
+body is a sequence of *sites*:
+
+* :class:`CondSite` -- a conditional branch with an attached behaviour,
+* :class:`CallSite` -- an unconditional call choosing among weighted
+  callees (plus the matching return when the callee finishes),
+* :class:`JumpSite` -- an unconditional direct jump (context "dilution":
+  real code has many non-call unconditional branches between calls),
+* :class:`LoopSite` -- a loop with a body of sites and a back-edge
+  conditional branch.
+
+The model deliberately contains everything LLBP's mechanisms key on --
+call chains form contexts, shared library functions reached through many
+paths create both pattern duplication (easy branches) and pattern-set
+contention (H2P branches) -- and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.traces.behaviors import Behavior
+
+#: code addresses advance in 4-byte steps, like a RISC ISA
+PC_STRIDE = 4
+
+
+@dataclass
+class CondSite:
+    """A conditional branch location inside a function body."""
+
+    pc: int
+    target: int
+    behavior: Behavior
+
+
+@dataclass
+class JumpSite:
+    """An unconditional direct jump (always taken)."""
+
+    pc: int
+    target: int
+
+
+@dataclass
+class CallSite:
+    """A call choosing one of several callees with the given weights."""
+
+    pc: int
+    callees: List["Function"]
+    weights: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.callees:
+            raise ValueError("call site needs at least one callee")
+        if len(self.callees) != len(self.weights):
+            raise ValueError(
+                f"{len(self.callees)} callees but {len(self.weights)} weights"
+            )
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("callee weights must be positive")
+
+
+@dataclass
+class LoopSite:
+    """A counted loop: body sites plus a back-edge conditional branch."""
+
+    pc: int  # back-edge branch address
+    target: int  # loop header address
+    body: List["Site"]
+    mean_trips: int
+
+    def __post_init__(self) -> None:
+        if self.mean_trips < 1:
+            raise ValueError(f"mean_trips must be >= 1, got {self.mean_trips}")
+
+
+Site = Union[CondSite, JumpSite, CallSite, LoopSite]
+
+
+@dataclass
+class Function:
+    """A function: an entry point, an exit point, and a body of sites."""
+
+    name: str
+    entry_pc: int
+    exit_pc: int
+    sites: List[Site] = field(default_factory=list)
+
+    def conditional_sites(self) -> List[CondSite]:
+        """All conditional branch sites, including those nested in loops."""
+        found: List[CondSite] = []
+
+        def visit(sites: Sequence[Site]) -> None:
+            for site in sites:
+                if isinstance(site, CondSite):
+                    found.append(site)
+                elif isinstance(site, LoopSite):
+                    visit(site.body)
+
+        visit(self.sites)
+        return found
+
+
+@dataclass
+class Program:
+    """A whole synthetic program: functions with ``functions[0]`` as root."""
+
+    name: str
+    functions: List[Function]
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ValueError("a program needs at least one function")
+
+    @property
+    def root(self) -> Function:
+        return self.functions[0]
+
+    def conditional_sites(self) -> List[CondSite]:
+        sites: List[CondSite] = []
+        for function in self.functions:
+            sites.extend(function.conditional_sites())
+        return sites
+
+    def static_branch_count(self) -> int:
+        """Static branches of all kinds (conditional + call/jump/loop edges)."""
+
+        def count(sites: Sequence[Site]) -> int:
+            total = 0
+            for site in sites:
+                if isinstance(site, LoopSite):
+                    total += 1 + count(site.body)
+                else:
+                    total += 1
+            return total
+
+        # +1 per function for the return branch
+        return sum(count(f.sites) + 1 for f in self.functions)
+
+
+class PcAllocator:
+    """Hands out unique, word-aligned code addresses."""
+
+    def __init__(self, base: int = 0x400000) -> None:
+        self._next = base
+
+    def alloc(self, slots: int = 1) -> int:
+        """Reserve ``slots`` consecutive instruction addresses; return the first."""
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        pc = self._next
+        self._next += slots * PC_STRIDE
+        return pc

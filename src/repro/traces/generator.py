@@ -1,0 +1,188 @@
+"""Trace generation: interpret a synthetic :class:`~repro.traces.cfg.Program`.
+
+The generator walks the program's call DAG, emitting one
+:class:`~repro.traces.record.BranchRecord` per executed branch.  It
+maintains exactly the execution context the behaviour models consume:
+
+* a global register of recent *conditional* outcomes (``cond_history``),
+* a rolling hash of the current call stack (``path_hash``),
+* per-branch occurrence counters.
+
+Structural randomness (callee selection, loop trip counts, instruction
+gaps) is drawn from a dedicated ``random.Random`` seeded per trace, so a
+``(program, seed, length)`` triple always produces the identical trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.common.bitops import mix64
+from repro.traces.behaviors import BehaviorContext
+from repro.traces.cfg import CallSite, CondSite, Function, JumpSite, LoopSite, Program, Site
+from repro.traces.record import BranchKind, Trace
+
+_COND_HISTORY_BITS = 256
+_COND_HISTORY_MASK = (1 << _COND_HISTORY_BITS) - 1
+
+
+class TraceGenerator:
+    """Executes a program until the requested number of branches is emitted."""
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 1,
+        mean_gap: float = 5.0,
+        max_call_depth: int = 64,
+        request_types: int = 16,
+        type_skew: float = 0.8,
+        type_stickiness: float = 0.6,
+    ) -> None:
+        if mean_gap < 0:
+            raise ValueError(f"mean_gap must be non-negative, got {mean_gap}")
+        if request_types < 1:
+            raise ValueError(f"request_types must be >= 1, got {request_types}")
+        if not 0.0 <= type_stickiness < 1.0:
+            raise ValueError(f"type_stickiness must be in [0, 1), got {type_stickiness}")
+        self.program = program
+        self.seed = seed
+        self.mean_gap = mean_gap
+        self.max_call_depth = max_call_depth
+        self.request_types = request_types
+        #: probability that the next request repeats the previous type --
+        #: server workloads see bursty, session-affine request streams,
+        #: which is what makes deep (W=64) context windows repeat
+        self.type_stickiness = type_stickiness
+        #: Zipf-like popularity of request types: real services handle a
+        #: small set of recurring request kinds, which is what makes control
+        #: flow paths (and therefore history patterns) *repeat*.
+        self._type_weights = [1.0 / (r + 1) ** type_skew for r in range(request_types)]
+        self._rng = random.Random(mix64(seed ^ 0xC0FFEE))
+        #: structural RNG of the current request; re-seeded deterministically
+        #: per request type so same-type requests follow identical paths
+        self._req_rng = self._rng
+        self._cond_history = 0
+        self._path_hashes: List[int] = [mix64(seed ^ 0x57AC)]  # root frame
+        self._occurrences: dict = {}
+        self._trace: Optional[Trace] = None
+        self._budget = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self, num_branches: int) -> Trace:
+        """Produce a trace with at least ``num_branches`` records.
+
+        The generator finishes the in-flight request (root-function
+        activation) before stopping, so the trace may run slightly longer
+        than requested; callers that need an exact length can slice.
+        """
+        if num_branches <= 0:
+            raise ValueError(f"num_branches must be positive, got {num_branches}")
+        trace = Trace(name=self.program.name, seed=self.seed)
+        self._trace = trace
+        self._budget = num_branches
+        self._cond_history = 0
+        self._path_hashes = [mix64(self.seed ^ 0x57AC)]
+        self._occurrences = {}
+        types = list(range(self.request_types))
+        request_type = 0
+        first = True
+        while len(trace) < num_branches:
+            if first or self._rng.random() >= self.type_stickiness:
+                request_type = self._rng.choices(types, weights=self._type_weights, k=1)[0]
+            first = False
+            self._req_rng = random.Random(mix64(self.seed ^ 0xF00D ^ request_type))
+            self._execute_function(self.program.root, return_to=self.program.root.entry_pc)
+        trace.meta["requested_branches"] = num_branches
+        trace.meta["request_types"] = self.request_types
+        trace.meta["static_branches"] = self.program.static_branch_count()
+        self._trace = None
+        return trace
+
+    # -- execution engine ----------------------------------------------------
+
+    def _gap(self) -> int:
+        """Sample the number of plain instructions before the next branch."""
+        if self.mean_gap == 0:
+            return 0
+        # Geometric-ish gap with the requested mean; bounded for sanity.
+        gap = int(self._rng.expovariate(1.0 / self.mean_gap))
+        return min(gap, int(self.mean_gap * 8) + 1)
+
+    def _emit(self, pc: int, target: int, kind: BranchKind, taken: bool) -> None:
+        assert self._trace is not None
+        self._trace.append(pc, target, kind, taken, self._gap())
+
+    def _context(self, pc: int) -> BehaviorContext:
+        occurrence = self._occurrences.get(pc, 0)
+        self._occurrences[pc] = occurrence + 1
+        return BehaviorContext(
+            cond_history=self._cond_history,
+            path_hash=self._path_hashes[-1],
+            occurrence=occurrence,
+        )
+
+    def _record_cond_outcome(self, taken: bool) -> None:
+        self._cond_history = ((self._cond_history << 1) | int(taken)) & _COND_HISTORY_MASK
+
+    def _execute_function(self, function: Function, return_to: int) -> None:
+        for site in function.sites:
+            self._execute_site(site)
+        self._emit(function.exit_pc, return_to, BranchKind.RETURN, True)
+
+    def _execute_site(self, site: Site) -> None:
+        if isinstance(site, CondSite):
+            ctx = self._context(site.pc)
+            taken = site.behavior.outcome(ctx)
+            self._emit(site.pc, site.target if taken else site.pc + 4, BranchKind.COND, taken)
+            self._record_cond_outcome(taken)
+        elif isinstance(site, JumpSite):
+            self._emit(site.pc, site.target, BranchKind.JUMP, True)
+        elif isinstance(site, CallSite):
+            callee = self._pick_callee(site)
+            self._emit(site.pc, callee.entry_pc, BranchKind.CALL, True)
+            if len(self._path_hashes) <= self.max_call_depth:
+                self._path_hashes.append(mix64(self._path_hashes[-1] ^ site.pc))
+                self._execute_function(callee, return_to=site.pc + 4)
+                self._path_hashes.pop()
+            else:  # depth limit: treat the call as a leaf no-op
+                self._emit(callee.exit_pc, site.pc + 4, BranchKind.RETURN, True)
+        elif isinstance(site, LoopSite):
+            trips = self._sample_trips(site)
+            for trip in range(trips):
+                for inner in site.body:
+                    self._execute_site(inner)
+                last = trip == trips - 1
+                self._emit(site.pc, site.pc + 4 if last else site.target, BranchKind.COND, not last)
+                self._record_cond_outcome(not last)
+        else:  # pragma: no cover - exhaustive over the Site union
+            raise TypeError(f"unknown site type: {type(site).__name__}")
+
+    def _pick_callee(self, site: CallSite) -> Function:
+        if len(site.callees) == 1:
+            return site.callees[0]
+        return self._req_rng.choices(site.callees, weights=site.weights, k=1)[0]
+
+    def _sample_trips(self, site: LoopSite) -> int:
+        if site.mean_trips == 1:
+            return 1
+        jitter = self._req_rng.randint(-1, 1) if site.mean_trips > 2 else 0
+        return max(1, site.mean_trips + jitter)
+
+
+def generate_trace(
+    program: Program,
+    num_branches: int,
+    seed: int = 1,
+    mean_gap: float = 5.0,
+    request_types: int = 16,
+    type_stickiness: float = 0.6,
+) -> Trace:
+    """Convenience wrapper: build a generator and produce one trace."""
+    generator = TraceGenerator(
+        program, seed=seed, mean_gap=mean_gap,
+        request_types=request_types, type_stickiness=type_stickiness,
+    )
+    return generator.generate(num_branches)

@@ -1,0 +1,56 @@
+"""Trace (de)serialisation.
+
+Traces are stored as ``.npz`` archives (compact, fast, dependency-free
+beyond numpy) with a JSON-encoded metadata blob.  Round-tripping is exact;
+the property tests check it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "seed": trace.seed,
+        "meta": trace.meta,
+    }
+    np.savez_compressed(
+        path,
+        pcs=np.asarray(trace.pcs, dtype=np.uint64),
+        targets=np.asarray(trace.targets, dtype=np.uint64),
+        kinds=np.asarray(trace.kinds, dtype=np.uint8),
+        taken=np.asarray(trace.taken, dtype=np.bool_),
+        inst_gaps=np.asarray(trace.inst_gaps, dtype=np.uint32),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {meta.get('version')!r}")
+        trace = Trace(name=meta["name"], seed=meta["seed"], meta=meta["meta"])
+        trace.pcs = [int(v) for v in data["pcs"]]
+        trace.targets = [int(v) for v in data["targets"]]
+        trace.kinds = [int(v) for v in data["kinds"]]
+        trace.taken = [bool(v) for v in data["taken"]]
+        trace.inst_gaps = [int(v) for v in data["inst_gaps"]]
+    return trace

@@ -1,0 +1,137 @@
+"""Branch trace representation.
+
+A trace is the unit of input for every simulation in this repository.  It
+is stored column-wise (parallel lists) because the simulator's inner loop
+iterates millions of records and CPython iterates parallel lists much
+faster than it constructs objects.  :meth:`Trace.records` provides a
+record-at-a-time view for convenience and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, NamedTuple
+
+
+class BranchKind(enum.IntEnum):
+    """Branch classes relevant to the predictors.
+
+    ``COND`` branches are predicted; all other kinds are *unconditional*
+    and participate in context formation (LLBP's rolling context register)
+    and path history.
+    """
+
+    COND = 0
+    JUMP = 1
+    CALL = 2
+    RETURN = 3
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self is not BranchKind.COND
+
+
+class BranchRecord(NamedTuple):
+    """One dynamic branch instance."""
+
+    pc: int
+    target: int
+    kind: BranchKind
+    taken: bool
+    inst_gap: int  # non-branch instructions executed since the previous branch
+
+
+@dataclass
+class Trace:
+    """A columnar dynamic branch trace plus provenance metadata."""
+
+    name: str = "unnamed"
+    seed: int = 0
+    pcs: List[int] = field(default_factory=list)
+    targets: List[int] = field(default_factory=list)
+    kinds: List[int] = field(default_factory=list)
+    taken: List[bool] = field(default_factory=list)
+    inst_gaps: List[int] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, pc: int, target: int, kind: BranchKind, taken: bool, inst_gap: int) -> None:
+        if inst_gap < 0:
+            raise ValueError(f"inst_gap must be non-negative, got {inst_gap}")
+        self.pcs.append(pc)
+        self.targets.append(target)
+        self.kinds.append(int(kind))
+        self.taken.append(taken)
+        self.inst_gaps.append(inst_gap)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def num_conditional(self) -> int:
+        return sum(1 for kind in self.kinds if kind == BranchKind.COND)
+
+    @property
+    def num_unconditional(self) -> int:
+        return len(self.kinds) - self.num_conditional
+
+    @property
+    def num_instructions(self) -> int:
+        """Total instructions: every branch is itself one instruction."""
+        return sum(self.inst_gaps) + len(self.pcs)
+
+    def records(self) -> Iterator[BranchRecord]:
+        for pc, target, kind, taken, gap in zip(self.pcs, self.targets, self.kinds, self.taken, self.inst_gaps):
+            yield BranchRecord(pc, target, BranchKind(kind), taken, gap)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace covering records ``[start, stop)``."""
+        sub = Trace(name=f"{self.name}[{start}:{stop}]", seed=self.seed, meta=dict(self.meta))
+        sub.pcs = self.pcs[start:stop]
+        sub.targets = self.targets[start:stop]
+        sub.kinds = self.kinds[start:stop]
+        sub.taken = self.taken[start:stop]
+        sub.inst_gaps = self.inst_gaps[start:stop]
+        return sub
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        lengths = {
+            len(self.pcs),
+            len(self.targets),
+            len(self.kinds),
+            len(self.taken),
+            len(self.inst_gaps),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths disagree: {lengths}")
+        for i, (kind, taken) in enumerate(zip(self.kinds, self.taken)):
+            if kind != BranchKind.COND and not taken:
+                raise ValueError(f"record {i}: unconditional branches are always taken")
+        for i, gap in enumerate(self.inst_gaps):
+            if gap < 0:
+                raise ValueError(f"record {i}: negative inst_gap {gap}")
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics used by tests and workload reports."""
+        n_cond = self.num_conditional
+        n_taken = sum(
+            1 for kind, taken in zip(self.kinds, self.taken) if kind == BranchKind.COND and taken
+        )
+        n_static = len(set(self.pcs))
+        n_static_cond = len({pc for pc, kind in zip(self.pcs, self.kinds) if kind == BranchKind.COND})
+        instructions = self.num_instructions
+        return {
+            "branches": float(len(self)),
+            "conditional": float(n_cond),
+            "unconditional": float(len(self) - n_cond),
+            "instructions": float(instructions),
+            "taken_ratio": n_taken / n_cond if n_cond else 0.0,
+            "branches_per_kilo_inst": 1000.0 * len(self) / instructions if instructions else 0.0,
+            "static_branches": float(n_static),
+            "static_conditional": float(n_static_cond),
+        }

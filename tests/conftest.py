@@ -1,0 +1,62 @@
+"""Shared fixtures: small traces and predictors sized for fast tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Runner, RunnerConfig
+from repro.llbp import ContextStreams
+from repro.tage import TraceTensors, tsl_64k
+from repro.traces import BranchKind, Trace, generate_workload
+
+TEST_SCALE = 8
+
+
+def make_cond_trace(outcomes, pc=0x1000, gap=3) -> Trace:
+    """A trace of one conditional branch with the given outcome sequence."""
+    trace = Trace(name="cond")
+    for taken in outcomes:
+        trace.append(pc, pc + 32, BranchKind.COND, bool(taken), gap)
+    return trace
+
+
+def make_mixed_trace(n=2000, seed=7) -> Trace:
+    """A small trace mixing conditional branches, calls, and returns."""
+    rng = random.Random(seed)
+    trace = Trace(name="mixed", seed=seed)
+    funcs = [0x8000 + 64 * i for i in range(6)]
+    for i in range(n):
+        kind = rng.choice([BranchKind.COND, BranchKind.COND, BranchKind.CALL, BranchKind.RETURN])
+        if kind == BranchKind.COND:
+            pc = 0x1000 + 8 * rng.randrange(20)
+            trace.append(pc, pc + 32, kind, rng.random() < 0.6, rng.randrange(6))
+        elif kind == BranchKind.CALL:
+            trace.append(0x2000 + 8 * rng.randrange(8), rng.choice(funcs), kind, True, rng.randrange(6))
+        else:
+            trace.append(0x3000 + 8 * rng.randrange(8), 0x2000, kind, True, rng.randrange(6))
+    return trace
+
+
+@pytest.fixture(scope="session")
+def small_workload_trace() -> Trace:
+    """A cached 20K-branch nodeapp trace shared by integration tests."""
+    return generate_workload("nodeapp", num_branches=20_000)
+
+
+@pytest.fixture(scope="session")
+def small_bundle(small_workload_trace):
+    tensors = TraceTensors(small_workload_trace)
+    return small_workload_trace, tensors, ContextStreams(tensors)
+
+
+@pytest.fixture(scope="session")
+def quick_runner() -> Runner:
+    """A runner with short traces for experiment smoke tests."""
+    return Runner(RunnerConfig(scale=TEST_SCALE, num_branches=15_000))
+
+
+@pytest.fixture()
+def tsl_config():
+    return tsl_64k(scale=TEST_SCALE)

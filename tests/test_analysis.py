@@ -1,0 +1,64 @@
+"""Tests for the Fig 6-9 analysis reductions."""
+
+import pytest
+
+from repro.core.analysis import (
+    context_profile,
+    depth_sweep_relative,
+    duplication_by_depth,
+    useful_by_depth,
+)
+from repro.tage.config import HISTORY_LENGTHS
+
+
+class TestContextProfile:
+    def test_profile_sorted_descending(self, quick_runner):
+        profile = context_profile(quick_runner, "kafka")
+        assert profile.counts == sorted(profile.counts, reverse=True)
+
+    def test_lengths_align_with_counts(self, quick_runner):
+        profile = context_profile(quick_runner, "kafka")
+        assert len(profile.avg_lengths) == len(profile.counts)
+        assert all(
+            HISTORY_LENGTHS[0] <= length <= HISTORY_LENGTHS[-1]
+            for length in profile.avg_lengths
+        )
+
+    def test_fractions_bounded(self, quick_runner):
+        profile = context_profile(quick_runner, "kafka")
+        assert 0 <= profile.over_capacity_fraction <= 1
+        assert 0 <= profile.underutilized_fraction <= 1
+
+    def test_capacity_comes_from_config(self, quick_runner):
+        profile = context_profile(quick_runner, "kafka")
+        assert profile.pattern_set_capacity == 16
+
+
+class TestDuplication:
+    def test_depth_keys(self, quick_runner):
+        dup = duplication_by_depth(quick_runner, "kafka", depths=(2, 8))
+        assert set(dup) == {2, 8}
+
+    def test_fractions_bounded(self, quick_runner):
+        dup = duplication_by_depth(quick_runner, "kafka", depths=(2,))
+        for per_length in dup.values():
+            for value in per_length.values():
+                assert 0.0 <= value < 1.0
+
+    def test_lengths_are_canonical(self, quick_runner):
+        dup = duplication_by_depth(quick_runner, "kafka", depths=(8,))
+        assert set(dup[8]) <= set(HISTORY_LENGTHS)
+
+
+class TestDepthSweep:
+    def test_relative_to_baseline(self, quick_runner):
+        raw = useful_by_depth(quick_runner, "kafka", depths=(8,))
+        ratios = depth_sweep_relative(quick_runner, "kafka", depths=(8,), baseline_depth=8)
+        # W=8 relative to itself is exactly 1 at every length
+        for length, ratio in ratios[8].items():
+            assert ratio == pytest.approx(1.0)
+        assert set(ratios[8]) == {l for l, c in raw[8].items() if c > 0}
+
+    def test_zero_baseline_lengths_skipped(self, quick_runner):
+        ratios = depth_sweep_relative(quick_runner, "kafka", depths=(2,), baseline_depth=8)
+        assert all(ratio >= 0 for ratio in ratios[2].values())

@@ -1,0 +1,115 @@
+"""Tests for branch behaviour models."""
+
+import pytest
+
+from repro.traces.behaviors import (
+    BehaviorContext,
+    BiasedBehavior,
+    GlobalCorrelatedBehavior,
+    LocalPatternBehavior,
+    LoopBehavior,
+    PathCorrelatedBehavior,
+    RandomBehavior,
+)
+
+
+def ctx(hist=0, path=0, occ=0):
+    return BehaviorContext(cond_history=hist, path_hash=path, occurrence=occ)
+
+
+class TestBiased:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BiasedBehavior(1, 1.5)
+
+    def test_deterministic_per_occurrence(self):
+        b = BiasedBehavior(42, 0.7)
+        assert b.outcome(ctx(occ=5)) == b.outcome(ctx(occ=5))
+
+    def test_frequency_tracks_probability(self):
+        b = BiasedBehavior(42, 0.8)
+        taken = sum(b.outcome(ctx(occ=i)) for i in range(4000))
+        assert 0.75 < taken / 4000 < 0.85
+
+    def test_extremes(self):
+        assert all(BiasedBehavior(1, 1.0).outcome(ctx(occ=i)) for i in range(50))
+        assert not any(BiasedBehavior(1, 0.0).outcome(ctx(occ=i)) for i in range(50))
+
+    def test_random_alias_tag(self):
+        assert RandomBehavior(1, 0.5).tag == "random"
+        assert BiasedBehavior(1, 0.5).tag == "biased"
+
+
+class TestLoop:
+    def test_exit_every_trip(self):
+        b = LoopBehavior(1, trip_count=4)
+        outcomes = [b.outcome(ctx(occ=i)) for i in range(8)]
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_rejects_short_trip(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(1, trip_count=1)
+
+
+class TestLocalPattern:
+    def test_periodicity(self):
+        b = LocalPatternBehavior(9, length=5)
+        first = [b.outcome(ctx(occ=i)) for i in range(5)]
+        second = [b.outcome(ctx(occ=i + 5)) for i in range(5)]
+        assert first == second
+
+    def test_not_degenerate_for_len_ge_2(self):
+        for seed in range(30):
+            b = LocalPatternBehavior(seed, length=6)
+            outcomes = {b.outcome(ctx(occ=i)) for i in range(6)}
+            assert len(outcomes) == 2
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            LocalPatternBehavior(1, 0)
+
+
+class TestGlobalCorrelated:
+    def test_function_of_history_window(self):
+        b = GlobalCorrelatedBehavior(5, k=4)
+        # same low-4 history bits -> same outcome, regardless of upper bits
+        assert b.outcome(ctx(hist=0b10110)) == b.outcome(ctx(hist=0b00110))
+
+    def test_depends_on_window(self):
+        b = GlobalCorrelatedBehavior(5, k=8)
+        outcomes = {b.outcome(ctx(hist=h)) for h in range(256)}
+        assert outcomes == {True, False}
+
+    def test_noise_flips_sometimes(self):
+        clean = GlobalCorrelatedBehavior(5, k=4, noise=0.0)
+        noisy = GlobalCorrelatedBehavior(5, k=4, noise=0.5)
+        diffs = sum(
+            clean.outcome(ctx(hist=1, occ=i)) != noisy.outcome(ctx(hist=1, occ=i))
+            for i in range(400)
+        )
+        assert 100 < diffs < 300
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBehavior(1, k=0)
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBehavior(1, k=4, noise=1.0)
+
+
+class TestPathCorrelated:
+    def test_function_of_path(self):
+        b = PathCorrelatedBehavior(5, hist_k=0)
+        assert b.outcome(ctx(path=123)) == b.outcome(ctx(path=123, occ=9))
+
+    def test_different_paths_differ_somewhere(self):
+        b = PathCorrelatedBehavior(5, hist_k=0)
+        outcomes = {b.outcome(ctx(path=p)) for p in range(64)}
+        assert outcomes == {True, False}
+
+    def test_hist_window_matters_when_enabled(self):
+        b = PathCorrelatedBehavior(5, hist_k=3)
+        outcomes = {b.outcome(ctx(path=1, hist=h)) for h in range(8)}
+        assert len(outcomes) == 2
+
+    def test_describe_mentions_params(self):
+        assert "hist_k=2" in PathCorrelatedBehavior(1, 2).describe()

@@ -1,0 +1,155 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import FoldedHistory, GlobalHistory, PathHistory, mask, mix64, mix_many
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(13) == 0x1FFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_differs_for_nearby_inputs(self):
+        assert mix64(1) != mix64(2)
+
+    def test_stays_in_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1, 2**200):
+            assert 0 <= mix64(value) < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_avalanche_flips_many_bits(self, value):
+        flipped = mix64(value) ^ mix64(value ^ 1)
+        # a single input-bit flip changes a third of output bits or more
+        assert bin(flipped).count("1") >= 12
+
+    def test_zero_not_fixed_point_of_nonzero(self):
+        assert mix64(1) != 0
+
+
+class TestMixMany:
+    def test_order_sensitive(self):
+        assert mix_many([1, 2, 3]) != mix_many([3, 2, 1])
+
+    def test_length_sensitive(self):
+        assert mix_many([1, 2]) != mix_many([1, 2, 0])
+
+    def test_empty_sequence_defined(self):
+        assert isinstance(mix_many([]), int)
+
+
+class TestFoldedHistory:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(0, 4)
+        with pytest.raises(ValueError):
+            FoldedHistory(4, 0)
+
+    def test_initial_value_zero(self):
+        assert FoldedHistory(10, 4).value == 0
+
+    def test_single_bit_window(self):
+        fh = FoldedHistory(1, 3)
+        fh.update(1, 0)
+        assert fh.value == 1
+        fh.update(0, 1)  # the 1 ages out immediately
+        assert fh.value == 0
+
+    def test_reset(self):
+        fh = FoldedHistory(8, 4)
+        for _ in range(10):
+            fh.update(1, 0)
+        fh.reset()
+        assert fh.value == 0
+
+    def test_value_bounded_by_width(self):
+        fh = FoldedHistory(64, 5)
+        for i in range(200):
+            fh.update(i & 1, 0 if i < 64 else (i - 64) & 1)
+            assert 0 <= fh.value < 32
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=300),
+        length=st.integers(1, 80),
+        width=st.integers(1, 16),
+    )
+    def test_incremental_matches_naive_fold(self, bits, length, width):
+        fh = FoldedHistory(length, width)
+        history = []
+        for bit in bits:
+            history.insert(0, bit)
+            old = history[length] if len(history) > length else 0
+            fh.update(bit, old)
+        window = history[:length] + [0] * max(0, length - len(history))
+        assert fh.value == FoldedHistory.fold_naive(window, width)
+
+
+class TestGlobalHistory:
+    def test_append_and_bit(self):
+        gh = GlobalHistory(8)
+        for bit in (1, 0, 1, 1):
+            gh.append(bit)
+        assert gh.bit(0) == 1
+        assert gh.bit(1) == 1
+        assert gh.bit(2) == 0
+        assert gh.bit(3) == 1
+
+    def test_recent_order_newest_first(self):
+        gh = GlobalHistory(8)
+        for bit in (1, 0, 0):
+            gh.append(bit)
+        assert gh.recent(3) == [0, 0, 1]
+
+    def test_wraps_capacity(self):
+        gh = GlobalHistory(4)
+        for i in range(10):
+            gh.append(i & 1)
+        assert len(gh) == 4
+
+    def test_bit_out_of_range_raises(self):
+        gh = GlobalHistory(4)
+        with pytest.raises(IndexError):
+            gh.bit(4)
+
+    def test_reset(self):
+        gh = GlobalHistory(4)
+        gh.append(1)
+        gh.reset()
+        assert len(gh) == 0
+        assert gh.bit(0) == 0
+
+
+class TestPathHistory:
+    def test_update_changes_value(self):
+        ph = PathHistory()
+        before = ph.value
+        ph.update(0x1234)
+        assert ph.value != before or (0x1234 & 3) == 0
+
+    def test_hashed_width(self):
+        ph = PathHistory()
+        for pc in range(0, 400, 4):
+            ph.update(pc)
+            assert 0 <= ph.hashed(10) < 1024
+
+    def test_reset(self):
+        ph = PathHistory()
+        ph.update(0xFFFF)
+        ph.reset()
+        assert ph.value == 0

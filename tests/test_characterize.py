@@ -1,0 +1,46 @@
+"""Tests for workload characterisation."""
+
+import pytest
+
+from repro.traces import characterize, generate_workload, workload_spec
+from repro.traces.workloads import build_program
+
+
+@pytest.fixture(scope="module")
+def profile():
+    spec = workload_spec("nodeapp")
+    trace = generate_workload("nodeapp", num_branches=12_000, use_cache=False)
+    return characterize(trace, program=build_program(spec))
+
+
+class TestProfile:
+    def test_shares_sum_to_one(self, profile):
+        total = (
+            profile.conditional_share
+            + profile.call_share
+            + profile.return_share
+            + profile.jump_share
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_server_like_mix(self, profile):
+        assert 0.4 < profile.conditional_share < 0.9
+        assert profile.call_share > 0.05
+        # calls and returns pair up (returns include root activations)
+        assert profile.return_share >= profile.call_share * 0.9
+
+    def test_behavior_shares(self, profile):
+        assert "path_correlated" in profile.behavior_shares
+        assert sum(profile.behavior_shares.values()) == pytest.approx(1.0)
+        # H2P branches are a minority of dynamic conditionals
+        assert profile.behavior_shares["path_correlated"] < 0.5
+
+    def test_context_paths_repeat(self, profile):
+        # repeated request types mean depth-2 UB windows recur heavily
+        assert profile.context_diversity < 400  # distinct windows per 1K UBs
+
+    def test_without_program_no_behavior_shares(self):
+        trace = generate_workload("kafka", num_branches=4000, use_cache=False)
+        profile = characterize(trace)
+        assert profile.behavior_shares == {}
+        assert profile.branches >= 4000

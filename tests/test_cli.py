@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import KNOWN_CONFIGS, KNOWN_REPORTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_workload_and_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom", "--config", "llbp"])
+
+    def test_run_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "kafka", "--config", "magic"])
+
+    def test_report_choices(self):
+        args = build_parser().parse_args(["report", "fig12"])
+        assert args.name == "fig12"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "fig99"])
+
+    def test_workloads_csv_parsing(self):
+        args = build_parser().parse_args(["report", "fig12", "--workloads", "kafka,nodeapp"])
+        assert args.workloads == ["kafka", "nodeapp"]
+
+    def test_workloads_csv_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "fig12", "--workloads", "kafka,doom"])
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "kafka", "--config", "llbp", "--branches", "500", "--scale", "4"]
+        )
+        assert args.branches == 500 and args.scale == 4
+
+
+class TestExecution:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kafka" in out and "llbpx" in out
+
+    def test_run_prints_summaries(self, capsys):
+        code = main(
+            ["run", "--workload", "kafka", "--config", "tsl_64k", "--config", "llbp",
+             "--branches", "8000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MPKI" in out and "vs tsl_64k" in out
+
+    def test_report_table2(self, capsys):
+        assert main(["report", "table2"]) == 0
+        assert "576 ROB" in capsys.readouterr().out
+
+    def test_report_table1_small(self, capsys):
+        code = main(["report", "table1", "--workloads", "kafka", "--branches", "8000"])
+        assert code == 0
+        assert "kafka" in capsys.readouterr().out
+
+
+class TestConstants:
+    def test_known_configs_cover_paper_designs(self):
+        for required in ("tsl_64k", "tsl_512k", "llbp", "llbpx", "llbpx_optw"):
+            assert required in KNOWN_CONFIGS
+
+    def test_known_reports_cover_every_figure(self):
+        for required in ("table1", "fig04", "fig05", "fig12", "fig13", "fig15", "fig16"):
+            assert required in KNOWN_REPORTS

@@ -1,0 +1,101 @@
+"""Tests for saturating counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SignedSaturatingCounter, UnsignedSaturatingCounter
+
+
+class TestSignedCounter:
+    def test_range_3_bits(self):
+        ctr = SignedSaturatingCounter(3)
+        assert ctr.lo == -4 and ctr.hi == 3
+
+    def test_saturates_high(self):
+        ctr = SignedSaturatingCounter(3)
+        for _ in range(20):
+            ctr.increment()
+        assert ctr.value == 3 and ctr.saturated_high
+
+    def test_saturates_low(self):
+        ctr = SignedSaturatingCounter(3)
+        for _ in range(20):
+            ctr.decrement()
+        assert ctr.value == -4 and ctr.saturated_low
+
+    def test_taken_is_sign(self):
+        ctr = SignedSaturatingCounter(3, value=0)
+        assert ctr.taken
+        ctr.decrement()
+        assert not ctr.taken
+
+    def test_weak_states(self):
+        assert SignedSaturatingCounter(3, value=0).is_weak
+        assert SignedSaturatingCounter(3, value=-1).is_weak
+        assert not SignedSaturatingCounter(3, value=1).is_weak
+
+    def test_confidence_symmetric(self):
+        assert SignedSaturatingCounter(3, value=0).confidence == 0
+        assert SignedSaturatingCounter(3, value=-1).confidence == 0
+        assert SignedSaturatingCounter(3, value=3).confidence == 3
+        assert SignedSaturatingCounter(3, value=-4).confidence == 3
+
+    def test_high_confidence_near_saturation(self):
+        assert SignedSaturatingCounter(3, value=2).is_high_confidence
+        assert SignedSaturatingCounter(3, value=-3).is_high_confidence
+        assert not SignedSaturatingCounter(3, value=1).is_high_confidence
+
+    def test_init_weak(self):
+        ctr = SignedSaturatingCounter(3)
+        ctr.init_weak(True)
+        assert ctr.value == 0 and ctr.taken
+        ctr.init_weak(False)
+        assert ctr.value == -1 and not ctr.taken
+
+    def test_update_direction(self):
+        ctr = SignedSaturatingCounter(3)
+        ctr.update(True)
+        assert ctr.value == 1
+        ctr.update(False)
+        assert ctr.value == 0
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(0)
+
+    def test_rejects_out_of_range_init(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(3, value=9)
+
+    @given(st.integers(1, 8), st.lists(st.booleans(), max_size=200))
+    def test_value_always_in_range(self, bits, updates):
+        ctr = SignedSaturatingCounter(bits)
+        for up in updates:
+            ctr.update(up)
+            assert ctr.lo <= ctr.value <= ctr.hi
+
+
+class TestUnsignedCounter:
+    def test_range(self):
+        ctr = UnsignedSaturatingCounter(3)
+        assert ctr.lo == 0 and ctr.hi == 7
+
+    def test_never_negative(self):
+        ctr = UnsignedSaturatingCounter(2)
+        ctr.decrement()
+        assert ctr.value == 0
+
+    def test_set_clamps(self):
+        ctr = UnsignedSaturatingCounter(2)
+        ctr.set(99)
+        assert ctr.value == 3
+        ctr.set(-5)
+        assert ctr.value == 0
+
+    @given(st.integers(1, 8), st.lists(st.booleans(), max_size=200))
+    def test_value_always_in_range(self, bits, updates):
+        ctr = UnsignedSaturatingCounter(bits)
+        for up in updates:
+            ctr.update(up)
+            assert 0 <= ctr.value <= ctr.hi

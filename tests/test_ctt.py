@@ -1,0 +1,106 @@
+"""Tests for the Context Tracking Table."""
+
+import pytest
+
+from repro.llbp.ctt import ContextTrackingTable
+
+
+def make_ctt(entries=24, assoc=4, tag_bits=6, counter_bits=3):
+    return ContextTrackingTable(entries, assoc, tag_bits, counter_bits)
+
+
+class TestTracking:
+    def test_untracked_is_shallow(self):
+        assert not make_ctt().is_deep(123)
+
+    def test_track_creates_entry(self):
+        ctt = make_ctt()
+        entry = ctt.track(123)
+        assert entry.avg_hist_len == 0 and not entry.deep
+        assert ctt.tracked_count() == 1
+
+    def test_track_idempotent(self):
+        ctt = make_ctt()
+        a = ctt.track(123)
+        b = ctt.track(123)
+        assert a is b and ctt.tracked_count() == 1
+
+    def test_lru_eviction_within_set(self):
+        ctt = make_ctt(entries=8, assoc=2)
+        sets = ctt.num_sets
+        # three contexts in the same set with distinct tags
+        first, second, third = sets * 1, sets * 2, sets * 3
+        ctt.track(first)
+        ctt.track(second)
+        ctt.lookup(first)  # refresh
+        ctt.track(third)
+        assert ctt.lookup(second) is None
+        assert ctt.lookup(first) is not None
+        assert ctt.stats.get("evictions") == 1
+
+    def test_rejects_too_few_entries(self):
+        with pytest.raises(ValueError):
+            ContextTrackingTable(entries=2, assoc=4, tag_bits=6, avg_hist_len_bits=3)
+
+
+class TestDepthAdaptation:
+    def test_observe_untracked_noop(self):
+        ctt = make_ctt()
+        assert ctt.observe_allocation(55, 3000, threshold=232) is None
+        assert ctt.tracked_count() == 0
+
+    def test_transition_to_deep_on_long_allocations(self):
+        ctt = make_ctt()
+        ctt.track(9)
+        transitions = [ctt.observe_allocation(9, 500, threshold=232) for _ in range(8)]
+        assert True in transitions
+        assert ctt.is_deep(9)
+        assert ctt.deep_count() == 1
+
+    def test_step_accelerates_transition(self):
+        slow, fast = make_ctt(), make_ctt()
+        slow.track(9)
+        fast.track(9)
+        slow_steps = fast_steps = 0
+        while not slow.is_deep(9):
+            slow.observe_allocation(9, 500, threshold=232, step=1)
+            slow_steps += 1
+        while not fast.is_deep(9):
+            fast.observe_allocation(9, 500, threshold=232, step=4)
+            fast_steps += 1
+        assert fast_steps < slow_steps
+
+    def test_short_allocations_keep_shallow(self):
+        ctt = make_ctt()
+        ctt.track(9)
+        for _ in range(50):
+            assert ctt.observe_allocation(9, 6, threshold=232) is None
+        assert not ctt.is_deep(9)
+
+    def test_hysteresis_reverts_to_shallow(self):
+        ctt = make_ctt()
+        ctt.track(9)
+        while not ctt.is_deep(9):
+            ctt.observe_allocation(9, 500, threshold=232)
+        reverted = False
+        for _ in range(20):
+            if ctt.observe_allocation(9, 6, threshold=232) is False:
+                reverted = True
+                break
+        assert reverted and not ctt.is_deep(9)
+
+    def test_mixed_allocations_with_asymmetric_step(self):
+        # 30% long with step 4 should still transition (net positive)
+        ctt = make_ctt()
+        ctt.track(9)
+        pattern = [500, 6, 6, 500, 6, 6, 6, 500, 6, 500] * 10
+        for length in pattern:
+            ctt.observe_allocation(9, length, threshold=232, step=4)
+        assert ctt.is_deep(9)
+
+    def test_counter_saturation_bound(self):
+        ctt = make_ctt(counter_bits=3)
+        entry = ctt.track(9)
+        for _ in range(100):
+            ctt.observe_allocation(9, 999, threshold=1)
+        assert entry.avg_hist_len == 7

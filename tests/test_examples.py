@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts run end-to-end (with tiny inputs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_runs():
+    proc = run_example("quickstart.py", "kafka", "8000")
+    assert proc.returncode == 0, proc.stderr
+    assert "MPKI" in proc.stdout
+    assert "LLBP-X internals" in proc.stdout
+
+
+@pytest.mark.slow
+def test_design_space_exploration_runs():
+    proc = run_example("design_space_exploration.py", "kafka", timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert "context-depth sweep" in proc.stdout
+
+
+def test_custom_workload_runs():
+    proc = run_example("custom_workload.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "vs baseline" in proc.stdout
+
+
+@pytest.mark.slow
+def test_small_tage_study_runs():
+    proc = run_example("small_tage_study.py", "kafka", timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert "MPKI +LLBP-X" in proc.stdout

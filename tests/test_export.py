@@ -1,0 +1,65 @@
+"""Tests for CSV figure-series export."""
+
+import csv
+
+import pytest
+
+from repro.core.analysis import ContextProfile
+from repro.experiments.export import (
+    export_context_profile,
+    export_per_length_series,
+    export_reduction_rows,
+)
+from repro.experiments.fig12_mpki_reduction import Fig12Row
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestReductionExport:
+    def test_rows_and_columns(self, tmp_path):
+        rows = [
+            Fig12Row(workload="kafka", baseline_mpki=3.5,
+                     reductions={"llbp": 8.0, "llbpx": 11.0}),
+            Fig12Row(workload="nodeapp", baseline_mpki=7.1,
+                     reductions={"llbp": 12.0, "llbpx": 14.0}),
+        ]
+        path = export_reduction_rows(rows, tmp_path / "fig12.csv")
+        data = read_csv(path)
+        assert data[0] == ["workload", "baseline_mpki", "llbp", "llbpx"]
+        assert data[1][0] == "kafka"
+        assert float(data[2][2]) == 12.0
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_reduction_rows([], tmp_path / "x.csv")
+
+
+class TestContextProfileExport:
+    def test_rank_series(self, tmp_path):
+        profile = ContextProfile(
+            workload="kafka", context_depth=8,
+            counts=[20, 5, 1], avg_lengths=[40.0, 10.0, 6.0],
+            pattern_set_capacity=16, num_store_contexts=1792,
+        )
+        path = export_context_profile(profile, tmp_path / "fig6.csv")
+        data = read_csv(path)
+        assert data[0] == ["rank", "useful_patterns", "avg_history_length"]
+        assert data[1] == ["0", "20", "40.00"]
+        assert len(data) == 4
+
+
+class TestPerLengthExport:
+    def test_depth_columns(self, tmp_path):
+        series = {2: {6: 1.5, 37: 0.9}, 64: {6: 0.3}}
+        path = export_per_length_series(series, tmp_path / "fig9.csv", value_name="ratio")
+        data = read_csv(path)
+        assert data[0] == ["history_length", "ratio_W2", "ratio_W64"]
+        assert data[1] == ["6", "1.5000", "0.3000"]
+        assert data[2][2] == "0.0000"  # missing cells filled with zero
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_per_length_series({2: {6: 1.0}}, tmp_path / "deep/dir/f.csv")
+        assert path.exists()

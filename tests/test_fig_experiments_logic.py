@@ -1,0 +1,72 @@
+"""Logic-level tests for experiment result types (no simulation)."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig12_mpki_reduction import Fig12Row
+from repro.experiments.fig14_prefetch_overriding import Fig14aResult
+from repro.experiments.tables import PAPER_TABLE_I
+from repro.metrics.prefetch import PrefetchReport
+from repro.timing.pipeline import TimingBreakdown
+
+
+class TestPaperTableI:
+    def test_covers_all_fourteen(self):
+        assert len(PAPER_TABLE_I) == 14
+
+    def test_known_anchors(self):
+        assert PAPER_TABLE_I["kafka"] == 0.26
+        assert PAPER_TABLE_I["whiskey"] == 5.38
+        assert PAPER_TABLE_I["nodeapp"] == 4.43
+
+    def test_average_matches_paper(self):
+        avg = sum(PAPER_TABLE_I.values()) / len(PAPER_TABLE_I)
+        assert avg == pytest.approx(2.92, abs=0.05)  # paper: avg 2.92
+
+
+class TestFig12Row:
+    def test_llbpx_gain_over_llbp(self):
+        row = Fig12Row(
+            workload="w", baseline_mpki=10.0, reductions={"llbp": 10.0, "llbpx": 19.0}
+        )
+        # LLBP MPKI 9.0, LLBP-X MPKI 8.1 -> 10% relative gain
+        assert row.llbpx_gain_over_llbp == pytest.approx(10.0)
+
+    def test_zero_baseline_guarded(self):
+        row = Fig12Row(workload="w", baseline_mpki=0.0, reductions={"llbp": 100.0, "llbpx": 100.0})
+        assert row.llbpx_gain_over_llbp == 0.0
+
+
+class TestTimingBreakdown:
+    def test_shares_sum_sensibly(self):
+        breakdown = TimingBreakdown(
+            machine="m", predictor="p", workload="w",
+            instructions=1000, base_cycles=125.0,
+            other_stall_cycles=300.0, branch_stall_cycles=100.0,
+            override_stall_cycles=0.0,
+        )
+        assert breakdown.total_cycles == 525.0
+        assert breakdown.cpi == pytest.approx(0.525)
+        assert breakdown.branch_stall_share == pytest.approx(0.25)
+
+    def test_empty_instruction_guard(self):
+        breakdown = TimingBreakdown(
+            machine="m", predictor="p", workload="w",
+            instructions=0, base_cycles=0.0,
+            other_stall_cycles=0.0, branch_stall_cycles=0.0,
+            override_stall_cycles=0.0,
+        )
+        assert breakdown.cpi == 0.0
+        assert breakdown.branch_stall_share == 0.0
+
+
+class TestFig14aResult:
+    def test_aggregation_fields(self):
+        with_fp = PrefetchReport("llbpx", "w", timely=90, late=5, unused=40, false_path_issued=30)
+        without = PrefetchReport("llbpx", "w", timely=85, late=5, unused=15, false_path_issued=30)
+        result = Fig14aResult(
+            with_false_path=with_fp, without_false_path=without, accuracy_drop_percent=1.2
+        )
+        assert result.with_false_path.unused > result.without_false_path.unused
+        assert not math.isnan(result.accuracy_drop_percent)

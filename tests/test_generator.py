@@ -1,0 +1,154 @@
+"""Tests for the program model and trace generator."""
+
+import pytest
+
+from repro.traces.behaviors import BiasedBehavior, GlobalCorrelatedBehavior
+from repro.traces.cfg import (
+    CallSite,
+    CondSite,
+    Function,
+    JumpSite,
+    LoopSite,
+    PcAllocator,
+    Program,
+)
+from repro.traces.generator import TraceGenerator, generate_trace
+from repro.traces.record import BranchKind
+
+
+def tiny_program(seed=1):
+    pc = PcAllocator()
+    leaf_entry = pc.alloc(4)
+    leaf = Function(
+        name="leaf",
+        entry_pc=leaf_entry,
+        exit_pc=pc.alloc(1),
+        sites=[CondSite(pc.alloc(2), pc.alloc(1) + 16, GlobalCorrelatedBehavior(seed, k=3))],
+    )
+    root_entry = pc.alloc(4)
+    call_pc = pc.alloc(2)
+    jump_pc = pc.alloc(2)
+    loop_pc = pc.alloc(2)
+    root = Function(
+        name="root",
+        entry_pc=root_entry,
+        exit_pc=pc.alloc(1),
+        sites=[
+            CondSite(pc.alloc(2), pc.alloc(1) + 16, BiasedBehavior(seed ^ 1, 0.9)),
+            CallSite(call_pc, [leaf], [1.0]),
+            JumpSite(jump_pc, jump_pc + 24),
+            LoopSite(loop_pc, loop_pc - 8, body=[CondSite(pc.alloc(2), pc.alloc(1), BiasedBehavior(seed ^ 2, 0.5))], mean_trips=3),
+        ],
+    )
+    return Program(name="tiny", functions=[root, leaf])
+
+
+class TestPcAllocator:
+    def test_unique_and_aligned(self):
+        alloc = PcAllocator()
+        pcs = [alloc.alloc() for _ in range(100)]
+        assert len(set(pcs)) == 100
+        assert all(pc % 4 == 0 for pc in pcs)
+
+    def test_multi_slot_reservation(self):
+        alloc = PcAllocator(base=0)
+        first = alloc.alloc(4)
+        second = alloc.alloc()
+        assert second - first == 16
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            PcAllocator().alloc(0)
+
+
+class TestCfgValidation:
+    def test_call_site_requires_callees(self):
+        with pytest.raises(ValueError):
+            CallSite(0, [], [])
+
+    def test_call_site_weight_mismatch(self):
+        leaf = tiny_program().functions[1]
+        with pytest.raises(ValueError):
+            CallSite(0, [leaf], [1.0, 2.0])
+
+    def test_loop_requires_trips(self):
+        with pytest.raises(ValueError):
+            LoopSite(0, 0, body=[], mean_trips=0)
+
+    def test_program_requires_functions(self):
+        with pytest.raises(ValueError):
+            Program(name="x", functions=[])
+
+    def test_conditional_sites_include_loop_bodies(self):
+        program = tiny_program()
+        assert len(program.conditional_sites()) == 3
+
+    def test_static_branch_count(self):
+        program = tiny_program()
+        # root: cond + call + jump + loop + loop-body cond + return = 6
+        # leaf: cond + return = 2
+        assert program.static_branch_count() == 8
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        a = generate_trace(tiny_program(), 500, seed=9)
+        b = generate_trace(tiny_program(), 500, seed=9)
+        assert a.pcs == b.pcs and a.taken == b.taken
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(tiny_program(), 500, seed=9)
+        b = generate_trace(tiny_program(), 500, seed=10)
+        assert a.taken != b.taken or a.pcs != b.pcs
+
+    def test_meets_budget(self):
+        trace = generate_trace(tiny_program(), 500)
+        assert len(trace) >= 500
+
+    def test_trace_validates(self):
+        generate_trace(tiny_program(), 500).validate()
+
+    def test_calls_matched_by_returns(self):
+        trace = generate_trace(tiny_program(), 1000)
+        calls = sum(1 for k in trace.kinds if k == BranchKind.CALL)
+        rets = sum(1 for k in trace.kinds if k == BranchKind.RETURN)
+        # every call returns; plus one return per root activation
+        assert rets >= calls
+
+    def test_loop_emits_taken_then_exit(self):
+        trace = generate_trace(tiny_program(), 400, seed=3)
+        program = tiny_program(seed=3)
+        loop_pc = next(
+            s.pc for s in program.functions[0].sites if isinstance(s, LoopSite)
+        )
+        outcomes = [t for pc, t, k in zip(trace.pcs, trace.taken, trace.kinds) if pc == loop_pc]
+        # last iteration of each loop execution is not taken
+        assert not all(outcomes) and any(outcomes)
+
+    def test_request_types_bound_structure(self):
+        gen = TraceGenerator(tiny_program(), seed=1, request_types=1)
+        trace = gen.generate(300)
+        # with a single request type every request is identical: the pc
+        # sequence is periodic
+        pcs = trace.pcs
+        period_guess = pcs[1:].index(pcs[0]) + 1
+        assert pcs[:period_guess] == pcs[period_guess : 2 * period_guess]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_program(), mean_gap=-1)
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_program(), request_types=0)
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_program(), type_stickiness=1.0)
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_program()).generate(0)
+
+    def test_zero_gap_mode(self):
+        trace = generate_trace(tiny_program(), 200, mean_gap=0)
+        assert all(g == 0 for g in trace.inst_gaps)
+
+    def test_metadata_recorded(self):
+        trace = generate_trace(tiny_program(), 200)
+        assert trace.meta["requested_branches"] == 200
+        assert "static_branches" in trace.meta

@@ -1,0 +1,65 @@
+"""Trace (de)serialisation tests, including a property-based round-trip."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.record import BranchKind, Trace
+
+
+def test_roundtrip_basic(tmp_path):
+    trace = Trace(name="demo", seed=5, meta={"workload": "demo", "n": 2})
+    trace.append(0x100, 0x200, BranchKind.COND, True, 3)
+    trace.append(0x104, 0x400, BranchKind.CALL, True, 0)
+    path = tmp_path / "demo.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == "demo"
+    assert loaded.seed == 5
+    assert loaded.meta == {"workload": "demo", "n": 2}
+    assert loaded.pcs == trace.pcs
+    assert loaded.taken == trace.taken
+    assert loaded.kinds == trace.kinds
+    assert loaded.inst_gaps == trace.inst_gaps
+
+
+def test_load_appends_npz_suffix(tmp_path):
+    trace = Trace(name="s")
+    trace.append(4, 8, BranchKind.JUMP, True, 0)
+    save_trace(trace, tmp_path / "t")  # numpy appends .npz
+    loaded = load_trace(tmp_path / "t")
+    assert loaded.pcs == [4]
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_trace(tmp_path / "nothing.npz")
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(0, 2**40),
+            st.integers(0, 2**40),
+            st.sampled_from(list(BranchKind)),
+            st.booleans(),
+            st.integers(0, 50),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_roundtrip_property(tmp_path, rows):
+    trace = Trace(name="prop", seed=1)
+    for pc, target, kind, taken, gap in rows:
+        trace.append(pc, target, kind, taken if kind == BranchKind.COND else True, gap)
+    path = tmp_path / "prop.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.pcs == trace.pcs
+    assert loaded.targets == trace.targets
+    assert loaded.kinds == trace.kinds
+    assert loaded.taken == trace.taken
+    assert loaded.inst_gaps == trace.inst_gaps

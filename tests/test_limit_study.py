@@ -1,0 +1,51 @@
+"""Tests for the limit-study ladder machinery."""
+
+import pytest
+
+from repro.core.limit_study import LIMIT_STEPS, cumulative_overrides, run_limit_study
+
+
+class TestLadderDefinition:
+    def test_six_steps(self):
+        assert len(LIMIT_STEPS) == 6
+        assert LIMIT_STEPS[0][0] == "LLBP-0Lat"
+        assert LIMIT_STEPS[-1][0] == "+No Contextualization"
+
+    def test_cumulative_merge_is_monotone(self):
+        previous_keys = set()
+        for index in range(len(LIMIT_STEPS)):
+            merged = cumulative_overrides(index)
+            assert previous_keys <= set(merged)
+            previous_keys = set(merged)
+
+    def test_first_step_empty(self):
+        assert cumulative_overrides(0) == {}
+
+    def test_tweaks_step_disables_all_three(self):
+        merged = cumulative_overrides(1)
+        assert merged == {
+            "use_bucketing": False,
+            "restrict_histories": False,
+            "suppress_sc": False,
+        }
+
+
+class TestLadderExecution:
+    def test_normalized_baseline_is_one(self, quick_runner):
+        steps = run_limit_study(quick_runner, ["kafka"], steps=[0, 1])
+        assert steps[0].normalized == 1.0
+        assert steps[0].step_reduction == 0.0
+
+    def test_subset_of_steps(self, quick_runner):
+        steps = run_limit_study(quick_runner, ["kafka"], steps=[0, 5])
+        assert [s.label for s in steps] == ["LLBP-0Lat", "+No Contextualization"]
+
+    def test_full_removal_helps(self, quick_runner):
+        steps = run_limit_study(quick_runner, ["kafka"], steps=[0, 5])
+        assert steps[-1].mpki < steps[0].mpki
+
+    def test_step_reduction_consistency(self, quick_runner):
+        steps = run_limit_study(quick_runner, ["kafka"], steps=[0, 1, 5])
+        for prev, cur in zip(steps, steps[1:]):
+            expected = 100 * (prev.mpki - cur.mpki) / prev.mpki
+            assert cur.step_reduction == pytest.approx(expected)

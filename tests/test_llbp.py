@@ -1,0 +1,216 @@
+"""Behavioural tests for the LLBP predictor."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.llbp import LLBP, ContextStreams, llbp_default, llbp_zero_latency
+from repro.tage import TraceTensors, tsl_64k
+from repro.traces.record import BranchKind, Trace
+from tests.conftest import TEST_SCALE
+
+
+def path_correlated_trace(n_requests=800, seed=0):
+    """Two call paths to a shared branch whose outcome is the path.
+
+    The path choice is a pseudo-random (but deterministic) function of the
+    request index, so global outcome history alone cannot predict the
+    branch -- only the call path (visible to TAGE via long history target
+    bits and to LLBP via its context) can.  The canonical LLBP-win case.
+    """
+    from repro.common.bitops import mix64
+
+    trace = Trace(name="pathy")
+    shared_pc = 0x9000
+    for i in range(n_requests):
+        path_a = bool(mix64(seed ^ (i * 0x9E37)) & 1)
+        caller = 0x2000 if path_a else 0x3000
+        trace.append(0x1000, caller, BranchKind.CALL, True, 2)
+        trace.append(caller + 8, 0x8000, BranchKind.CALL, True, 2)
+        # a few easy branches inside the shared function
+        trace.append(0x8008, 0x8040, BranchKind.COND, True, 2)
+        trace.append(shared_pc, 0x9040, BranchKind.COND, path_a, 2)
+        trace.append(0x8010, caller + 12, BranchKind.RETURN, True, 2)
+        trace.append(caller + 16, 0x1004, BranchKind.RETURN, True, 2)
+    return trace
+
+
+def build_llbp(trace, **overrides):
+    tensors = TraceTensors(trace)
+    contexts = ContextStreams(tensors)
+    config = llbp_default(scale=TEST_SCALE, **overrides)
+    return LLBP(config, tsl_64k(scale=TEST_SCALE), tensors, contexts), tensors
+
+
+class TestLLBPPrediction:
+    def test_runs_and_collects_stats(self):
+        trace = path_correlated_trace(300)
+        predictor, tensors = build_llbp(trace)
+        result = simulate(predictor, trace, tensors)
+        assert result.stats["predictions"] > 0
+        assert "unconditional_branches" in result.stats
+
+    def test_llbp_provides_predictions(self):
+        trace = path_correlated_trace(600)
+        predictor, tensors = build_llbp(trace)
+        result = simulate(predictor, trace, tensors)
+        assert result.stats.get("llbp_provides", 0) > 0
+
+    def test_context_cold_start_no_crash(self):
+        trace = path_correlated_trace(5)
+        predictor, tensors = build_llbp(trace)
+        simulate(predictor, trace, tensors)
+
+    def test_prefetch_categories_accounted(self):
+        trace = path_correlated_trace(600)
+        predictor, tensors = build_llbp(trace)
+        result = simulate(predictor, trace, tensors)
+        issued = result.stats.get("prefetches_issued", 0)
+        settled = (
+            result.stats.get("prefetch_timely", 0)
+            + result.stats.get("prefetch_late", 0)
+            + result.stats.get("prefetch_unused", 0)
+        )
+        assert issued == settled  # finalize() settles everything
+
+    def test_zero_latency_on_demand(self):
+        trace = path_correlated_trace(600)
+        predictor, tensors = build_llbp(trace, zero_latency=True)
+        result = simulate(predictor, trace, tensors)
+        # no prefetch pipeline in 0-lat mode
+        assert result.stats.get("prefetches_issued", 0) == 0
+        assert result.stats.get("llbp_provides", 0) > 0
+
+    def test_zero_latency_not_worse(self):
+        trace = path_correlated_trace(800)
+        lat, tensors = build_llbp(trace)
+        r_lat = simulate(lat, trace, tensors)
+        zero, _ = build_llbp(trace, zero_latency=True)
+        r_zero = simulate(zero, trace, tensors)
+        assert r_zero.mispredictions <= r_lat.mispredictions + 5
+
+    def test_no_contextualization_mode(self):
+        trace = path_correlated_trace(400)
+        predictor, tensors = build_llbp(trace, no_contextualization=True)
+        result = simulate(predictor, trace, tensors)
+        assert result.stats.get("set_creations", 0) > 0
+        assert result.stats.get("prefetches_issued", 0) == 0
+
+    def test_infinite_patterns_uncaps_sets(self):
+        trace = path_correlated_trace(500)
+        predictor, tensors = build_llbp(trace, infinite_patterns=True, use_bucketing=False)
+        result = simulate(predictor, trace, tensors)
+        # collect_extra finalises the run: sets live in the store afterwards
+        assert result.extra["resident_sets"] > 0
+        assert result.stats.get("pattern_allocations", 0) > 0
+
+
+class TestLLBPTraining:
+    def test_allocations_happen_on_mispredicts(self):
+        trace = path_correlated_trace(500)
+        predictor, tensors = build_llbp(trace)
+        result = simulate(predictor, trace, tensors)
+        assert result.stats.get("pattern_allocations", 0) > 0
+
+    def test_writebacks_reach_store(self):
+        trace = path_correlated_trace(800)
+        predictor, tensors = build_llbp(trace)
+        simulate(predictor, trace, tensors)
+        predictor.finalize()
+        assert predictor.store.resident_sets() > 0
+
+    def test_finalize_idempotent(self):
+        trace = path_correlated_trace(100)
+        predictor, tensors = build_llbp(trace)
+        simulate(predictor, trace, tensors)
+        predictor.finalize()
+        first = predictor.store.resident_sets()
+        predictor.finalize()
+        assert predictor.store.resident_sets() == first
+
+    def test_collect_extra_fields(self):
+        trace = path_correlated_trace(300)
+        predictor, tensors = build_llbp(trace)
+        result = simulate(predictor, trace, tensors)
+        for key in ("store_reads", "store_writes", "resident_sets"):
+            assert key in result.extra
+
+    def test_useful_tracking_optional(self):
+        trace = path_correlated_trace(600)
+        predictor, tensors = build_llbp(trace, track_useful=True)
+        simulate(predictor, trace, tensors)
+        assert predictor.tracker is not None
+        off, _ = build_llbp(trace)
+        assert off.tracker is None
+
+
+class TestLLBPAccuracy:
+    def test_improves_on_path_correlated_workload(self):
+        trace = path_correlated_trace(1000)
+        tensors = TraceTensors(trace)
+        from repro.tage import TageSCL
+
+        baseline = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+        predictor, _ = build_llbp(trace, zero_latency=True)
+        llbp = simulate(predictor, trace, tensors)
+        assert llbp.mispredictions <= baseline.mispredictions
+
+    def test_improves_on_server_workload(self, small_bundle):
+        trace, tensors, contexts = small_bundle
+        from repro.tage import TageSCL
+
+        baseline = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+        predictor = LLBP(
+            llbp_default(scale=TEST_SCALE), tsl_64k(scale=TEST_SCALE), tensors, contexts
+        )
+        llbp = simulate(predictor, trace, tensors)
+        assert llbp.mispredictions < baseline.mispredictions
+
+
+class TestFalsePath:
+    def test_false_path_prefetches_issued(self):
+        trace = path_correlated_trace(600)
+        predictor, tensors = build_llbp(trace, model_false_path=True)
+        result = simulate(predictor, trace, tensors)
+        assert result.stats.get("false_path_issued", 0) > 0
+
+    def test_flushing_removes_false_path_entries(self, small_bundle):
+        trace, tensors, contexts = small_bundle
+        flush = LLBP(
+            llbp_default(scale=TEST_SCALE, model_false_path=True, flush_false_path=True),
+            tsl_64k(scale=TEST_SCALE),
+            tensors,
+            contexts,
+        )
+        r_flush = simulate(flush, trace, tensors)
+        assert r_flush.stats.get("false_path_issued", 0) > 0
+        assert r_flush.stats.get("false_path_flushed", 0) > 0
+        # nothing false-path-tagged survives in the PB after a flushing run
+        resident_fp = sum(1 for _, e in flush.pattern_buffer.items() if e.false_path)
+        assert resident_fp == 0
+
+
+class TestConfigValidation:
+    def test_zero_latency_preset(self):
+        assert llbp_zero_latency().effective_latency == 0
+        assert llbp_default().effective_latency == 6
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            llbp_default(context_depth=-1)
+
+    def test_bucket_divisibility(self):
+        with pytest.raises(ValueError):
+            llbp_default(patterns_per_set=15)
+
+    def test_scaled_contexts(self):
+        assert llbp_default(scale=8).effective_contexts == llbp_default().effective_contexts // 8
+
+    def test_history_subset_toggle(self):
+        assert len(llbp_default().history_lengths) == 16
+        assert len(replace(llbp_default(), restrict_histories=False).history_lengths) == 21
+
+    def test_storage_budget_plausible(self):
+        kib = llbp_default().storage_bits() / 8192
+        assert 300 < kib < 900

@@ -1,0 +1,74 @@
+"""Tests for the loop-exit predictor."""
+
+import pytest
+
+from repro.tage.loop_predictor import LoopPredictor
+
+
+def drive_loop(predictor, pc, trips, iterations, tage_wrong=True):
+    """Feed `iterations` executions of a `trips`-iteration loop."""
+    for _ in range(iterations):
+        for i in range(trips):
+            taken = i < trips - 1
+            predictor.update(pc, taken, tage_mispredicted=tage_wrong)
+
+
+class TestLoopPredictor:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(entries=10)
+
+    def test_learns_constant_trip_count(self):
+        lp = LoopPredictor()
+        pc = 0x400
+        drive_loop(lp, pc, trips=5, iterations=12)
+        # replay one loop execution, checking predictions
+        entry = lp.entry_state(pc)
+        assert entry is not None and entry.confidence == 7
+        for i in range(5):
+            pred = lp.predict(pc)
+            assert pred.valid
+            assert pred.pred == (i < 4)
+            lp.update(pc, i < 4, tage_mispredicted=False)
+
+    def test_not_confident_before_training(self):
+        lp = LoopPredictor()
+        drive_loop(lp, 0x400, trips=5, iterations=2)
+        assert not lp.predict(0x400).valid
+
+    def test_trip_change_resets_confidence(self):
+        lp = LoopPredictor()
+        drive_loop(lp, 0x400, trips=5, iterations=10)
+        drive_loop(lp, 0x400, trips=7, iterations=1)
+        entry = lp.entry_state(0x400)
+        assert entry is not None and entry.confidence <= 1
+
+    def test_allocation_only_on_tage_misprediction(self):
+        lp = LoopPredictor()
+        lp.update(0x400, True, tage_mispredicted=False)
+        assert lp.entry_state(0x400) is None
+        lp.update(0x400, True, tage_mispredicted=True)
+        # age-based: first misprediction decrements age of resident entry;
+        # empty entries have age 0 so this allocates
+        assert lp.entry_state(0x400) is not None
+
+    def test_jittery_loop_never_becomes_confident(self):
+        lp = LoopPredictor()
+        pc = 0x800
+        import random
+
+        rng = random.Random(5)
+        for _ in range(30):
+            trips = rng.choice([4, 5, 6])
+            for i in range(trips):
+                lp.update(pc, i < trips - 1, tage_mispredicted=True)
+        assert not lp.predict(pc).valid
+
+    def test_distinct_pcs_use_distinct_entries(self):
+        lp = LoopPredictor()
+        drive_loop(lp, 0x400, trips=4, iterations=10)
+        drive_loop(lp, 0x404, trips=6, iterations=10)
+        a = lp.entry_state(0x400)
+        b = lp.entry_state(0x404)
+        assert a is not None and b is not None
+        assert a.past_iter != b.past_iter

@@ -1,0 +1,55 @@
+"""Scaling-law tests for the analytical SRAM energy model.
+
+The model replaces CACTI (DESIGN.md §1); these tests pin the properties
+the Fig 15b comparison depends on: monotonicity in capacity, access
+width, and associativity, and sensible structure-level ratios at the
+paper's full-scale geometries.
+"""
+
+import pytest
+
+from repro.llbp import llbp_default, llbpx_default
+from repro.metrics.energy import StructureGeometry, _geometries, access_energy
+
+
+class TestScalingLaws:
+    def test_monotone_in_capacity(self):
+        energies = [
+            access_energy(StructureGeometry("s", bits, 1, 64))
+            for bits in (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+        ]
+        assert energies == sorted(energies)
+        assert energies[-1] > 3 * energies[0]
+
+    def test_linear_in_width(self):
+        narrow = access_energy(StructureGeometry("n", 100_000, 1, 64))
+        wide = access_energy(StructureGeometry("w", 100_000, 1, 128))
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_assoc_surcharge(self):
+        direct = access_energy(StructureGeometry("d", 100_000, 1, 64))
+        assoc8 = access_energy(StructureGeometry("a", 100_000, 8, 64))
+        assert 1.3 < assoc8 / direct < 2.0
+
+
+class TestGeometries:
+    def test_llbp_structures_present(self):
+        geometries = _geometries(llbp_default())
+        assert set(geometries) == {"pattern_store", "context_directory", "pattern_buffer"}
+
+    def test_llbpx_adds_ctt(self):
+        geometries = _geometries(llbpx_default())
+        assert "ctt" in geometries
+
+    def test_full_scale_store_dwarfs_buffer(self):
+        """At the paper's full-scale sizes a pattern-store access costs
+        several times a pattern-buffer access (the CACTI relationship the
+        relative-energy figure relies on)."""
+        geometries = _geometries(llbp_default(scale=1))
+        store = access_energy(geometries["pattern_store"])
+        buffer = access_energy(geometries["pattern_buffer"])
+        assert store > 2.5 * buffer
+
+    def test_ctt_is_cheap(self):
+        geometries = _geometries(llbpx_default(scale=1))
+        assert access_energy(geometries["ctt"]) < access_energy(geometries["pattern_buffer"])

@@ -1,0 +1,79 @@
+"""Public-API surface tests: exports exist, are documented, and compose."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.traces",
+    "repro.tage",
+    "repro.llbp",
+    "repro.core",
+    "repro.timing",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+class TestPackageSurface:
+    def test_importable(self, name):
+        importlib.import_module(name)
+
+    def test_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 10
+
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+    def test_all_sorted_for_readability(self, name):
+        module = importlib.import_module(name)
+        exported = list(getattr(module, "__all__", []))
+        assert exported == sorted(exported, key=str.lower) or exported == sorted(exported)
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize(
+        "qualname",
+        [
+            "repro.tage.TageSCL",
+            "repro.tage.TageCore",
+            "repro.tage.StatisticalCorrector",
+            "repro.tage.LoopPredictor",
+            "repro.llbp.LLBP",
+            "repro.llbp.LLBPX",
+            "repro.llbp.PatternStore",
+            "repro.llbp.PatternBuffer",
+            "repro.llbp.ContextTrackingTable",
+            "repro.core.Runner",
+            "repro.core.simulate",
+            "repro.traces.TraceGenerator",
+            "repro.traces.generate_workload",
+        ],
+    )
+    def test_documented(self, qualname):
+        module_name, symbol = qualname.rsplit(".", 1)
+        obj = getattr(importlib.import_module(module_name), symbol)
+        assert inspect.getdoc(obj), f"{qualname} lacks a docstring"
+
+
+class TestTopLevelComposition:
+    def test_quickstart_surface(self):
+        import repro
+
+        runner = repro.Runner(repro.RunnerConfig(num_branches=6000))
+        result = runner.run_one("kafka", "tsl_64k")
+        assert isinstance(result, repro.SimulationResult)
+        assert result.mpki > 0
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -1,0 +1,187 @@
+"""Tests for patterns, pattern sets, bucketing, and useful tracking."""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llbp.pattern import Pattern, PatternSet, UsefulTracker, make_bucket_ranges
+from repro.tage.config import HISTORY_LENGTHS
+
+
+def tag_streams_for(t_value: int, mapping):
+    """Fake per-length tag streams: mapping[length_index] -> tag at time t."""
+    streams = []
+    for i in range(len(HISTORY_LENGTHS)):
+        streams.append(array("l", [mapping.get(i, -999)] * (t_value + 1)))
+    return streams
+
+
+class TestPattern:
+    def test_initial_weak_state(self):
+        assert Pattern(3, 0x1F, taken=True).ctr == 0
+        assert Pattern(3, 0x1F, taken=False).ctr == -1
+
+    def test_update_saturates(self):
+        p = Pattern(0, 1, taken=True)
+        for _ in range(10):
+            p.update(True, 3, -4)
+        assert p.ctr == 3
+        for _ in range(20):
+            p.update(False, 3, -4)
+        assert p.ctr == -4
+
+    def test_confidence_and_confident(self):
+        p = Pattern(0, 1, taken=True)
+        assert p.confidence() == 0 and not p.is_confident(3)
+        p.ctr = 2
+        assert p.is_confident(3)
+        p.ctr = -3
+        assert p.is_confident(3)
+
+
+class TestPatternSetUnbucketed:
+    def test_allocate_and_find(self):
+        ps = PatternSet(capacity=4)
+        ps.allocate(2, 0x10, True)
+        assert ps.find(2, 0x10) is not None
+        assert ps.find(2, 0x11) is None
+
+    def test_allocate_existing_reinforces(self):
+        ps = PatternSet(capacity=4)
+        first = ps.allocate(2, 0x10, True)
+        again = ps.allocate(2, 0x10, True)
+        assert first is again
+        assert again.ctr == 1  # reinforced, not reset
+
+    def test_capacity_evicts_least_confident(self):
+        ps = PatternSet(capacity=2)
+        strong = ps.allocate(1, 0x1, True)
+        strong.ctr = 3
+        ps.allocate(2, 0x2, True)  # weak
+        ps.allocate(3, 0x3, False)  # evicts the weak one
+        assert ps.find(1, 0x1) is not None
+        assert ps.find(2, 0x2) is None
+        assert ps.find(3, 0x3) is not None
+
+    def test_unlimited_capacity(self):
+        ps = PatternSet(capacity=0)
+        for i in range(100):
+            ps.allocate(i % 21, i, True)
+        assert len(ps) == 100
+
+    def test_lookup_longest_match(self):
+        ps = PatternSet(capacity=8)
+        ps.allocate(2, 0x10, True)
+        ps.allocate(9, 0x20, False)
+        streams = tag_streams_for(0, {2: 0x10, 9: 0x20})
+        best = ps.lookup(0, streams, [])
+        assert best is not None and best.length_index == 9
+
+    def test_lookup_no_match(self):
+        ps = PatternSet(capacity=8)
+        ps.allocate(2, 0x10, True)
+        streams = tag_streams_for(0, {2: 0x999})
+        assert ps.lookup(0, streams, []) is None
+
+    def test_dirty_flag_set_on_allocation(self):
+        ps = PatternSet(capacity=4)
+        assert not ps.dirty
+        ps.allocate(1, 2, True)
+        assert ps.dirty
+
+    def test_confident_count(self):
+        ps = PatternSet(capacity=4)
+        a = ps.allocate(1, 1, True)
+        b = ps.allocate(2, 2, True)
+        a.ctr = 3
+        assert ps.confident_count() == 1
+        b.ctr = -4
+        assert ps.confident_count() == 2
+
+
+class TestBucketing:
+    def test_make_bucket_ranges_covers_everything(self):
+        indices = sorted(range(0, 21, 2))
+        ranges = make_bucket_ranges(indices, 4, 4)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] >= 20
+        for i in range(21):
+            assert any(lo <= i <= hi for lo, hi, _ in ranges)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_bucket_ranges([], 4, 4)
+
+    def test_bucket_conflicts_stay_local(self):
+        ranges = make_bucket_ranges(list(range(16)), 4, 2)
+        ps = PatternSet(capacity=8, bucket_ranges=ranges)
+        # fill bucket 0 (indices 0..3) beyond its 2 slots
+        ps.allocate(0, 1, True)
+        ps.allocate(1, 2, True)
+        ps.allocate(2, 3, True)  # evicts within bucket 0
+        # bucket 3 resident untouched
+        far = ps.allocate(15, 9, True)
+        assert far is not None
+        bucket0 = [p for p in ps.patterns if p.length_index <= 3]
+        assert len(bucket0) == 2
+
+    def test_out_of_bucket_allocation_dropped(self):
+        ranges = [(0, 3, 2)]  # only short lengths allowed
+        ps = PatternSet(capacity=2, bucket_ranges=ranges)
+        assert ps.allocate(10, 5, True) is None
+        assert len(ps) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        allocations=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 255), st.booleans()),
+            max_size=80,
+        )
+    )
+    def test_bucket_occupancy_never_exceeds_slots(self, allocations):
+        indices = list(range(21))
+        ranges = make_bucket_ranges(indices, 4, 4)
+        ps = PatternSet(capacity=16, bucket_ranges=ranges)
+        for length_index, tag, taken in allocations:
+            ps.allocate(length_index, tag, taken)
+            for lo, hi, slots in ranges:
+                residents = [p for p in ps.patterns if lo <= p.length_index <= hi]
+                assert len(residents) <= slots
+
+
+class TestUsefulTracker:
+    def test_per_context_counts_distinct_patterns(self):
+        tracker = UsefulTracker()
+        p1 = Pattern(2, 0x10, True)
+        p2 = Pattern(3, 0x20, True)
+        tracker.record(100, p1)
+        tracker.record(100, p1)  # same pattern twice
+        tracker.record(100, p2)
+        tracker.record(200, p1)
+        counts = tracker.per_context_counts()
+        assert counts[100] == 2 and counts[200] == 1
+
+    def test_per_context_lengths(self):
+        tracker = UsefulTracker()
+        tracker.record(1, Pattern(0, 1, True))  # length 6
+        tracker.record(1, Pattern(5, 2, True))  # length 37
+        lengths = tracker.per_context_lengths(list(HISTORY_LENGTHS))
+        assert lengths[1] == (6 + 37) / 2
+
+    def test_duplication_counts_cross_context_copies(self):
+        tracker = UsefulTracker()
+        shared = Pattern(0, 0x7, True)
+        tracker.record(1, shared)
+        tracker.record(2, shared)
+        tracker.record(3, Pattern(0, 0x8, True))
+        dup = tracker.duplication_by_length(list(HISTORY_LENGTHS))
+        assert dup[6] == pytest.approx(1 - 2 / 3)
+
+    def test_useful_by_length_sums_occurrences(self):
+        tracker = UsefulTracker()
+        p = Pattern(5, 1, True)
+        tracker.record(1, p)
+        tracker.record(1, p)
+        assert tracker.useful_by_length(list(HISTORY_LENGTHS))[37] == 2

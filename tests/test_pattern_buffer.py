@@ -1,0 +1,79 @@
+"""Tests for the pattern buffer (LRU + transfer latency)."""
+
+from repro.llbp.pattern import PatternSet
+from repro.llbp.pattern_buffer import PatternBuffer
+
+
+def ps():
+    return PatternSet(capacity=16)
+
+
+class TestPatternBuffer:
+    def test_insert_and_get(self):
+        pb = PatternBuffer(4)
+        pattern_set = ps()
+        pb.insert(1, pattern_set, available_at=10, from_prefetch=True)
+        got, late = pb.get(1, now=10)
+        assert got is pattern_set and not late
+
+    def test_in_flight_is_late(self):
+        pb = PatternBuffer(4)
+        pb.insert(1, ps(), available_at=20, from_prefetch=True)
+        got, late = pb.get(1, now=15)
+        assert got is None and late
+        assert pb.peek(1).late
+
+    def test_late_then_used(self):
+        pb = PatternBuffer(4)
+        pb.insert(1, ps(), available_at=20, from_prefetch=True)
+        pb.get(1, now=15)
+        got, late = pb.get(1, now=25)
+        assert got is not None and not late
+        entry = pb.peek(1)
+        assert entry.used and entry.late
+
+    def test_missing_context(self):
+        pb = PatternBuffer(4)
+        got, late = pb.get(99, now=0)
+        assert got is None and not late
+
+    def test_lru_eviction_order(self):
+        pb = PatternBuffer(2)
+        pb.insert(1, ps(), 0, from_prefetch=False)
+        pb.insert(2, ps(), 0, from_prefetch=False)
+        pb.get(1, now=5)  # touch 1 so 2 becomes LRU
+        evicted = pb.insert(3, ps(), 0, from_prefetch=False)
+        assert evicted is not None and evicted[0] == 2
+
+    def test_reinsert_refreshes_availability(self):
+        pb = PatternBuffer(4)
+        pb.insert(1, ps(), available_at=50, from_prefetch=True)
+        pb.insert(1, ps(), available_at=10, from_prefetch=True)
+        got, late = pb.get(1, now=20)
+        assert got is not None
+
+    def test_drain_empties_buffer(self):
+        pb = PatternBuffer(4)
+        for cid in range(3):
+            pb.insert(cid, ps(), 0, from_prefetch=True)
+        drained = list(pb.drain())
+        assert len(drained) == 3
+        assert len(pb) == 0
+
+    def test_capacity_respected(self):
+        pb = PatternBuffer(8)
+        for cid in range(50):
+            pb.insert(cid, ps(), 0, from_prefetch=False)
+        assert len(pb) == 8
+        assert pb.stats.get("evictions") == 42
+
+    def test_rejects_zero_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PatternBuffer(0)
+
+    def test_contains(self):
+        pb = PatternBuffer(2)
+        pb.insert(5, ps(), 0, from_prefetch=False)
+        assert 5 in pb and 6 not in pb

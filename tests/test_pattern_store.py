@@ -1,0 +1,83 @@
+"""Tests for the pattern store / context directory."""
+
+from repro.llbp.pattern import PatternSet
+from repro.llbp.pattern_store import PatternStore
+
+
+def make_set(confident=0):
+    ps = PatternSet(capacity=16)
+    for i in range(max(1, confident)):
+        p = ps.allocate(i % 21, i, True)
+        if i < confident:
+            p.ctr = 3
+    return ps
+
+
+class TestPatternStore:
+    def test_insert_and_lookup(self):
+        store = PatternStore(num_contexts=64, assoc=4, context_tag_bits=14)
+        ps = make_set()
+        store.insert(12345, ps)
+        assert store.lookup(12345) is ps
+
+    def test_lookup_miss(self):
+        store = PatternStore(num_contexts=64, assoc=4, context_tag_bits=14)
+        assert store.lookup(999) is None
+
+    def test_contains_without_read(self):
+        store = PatternStore(num_contexts=64, assoc=4, context_tag_bits=14)
+        store.insert(1, make_set())
+        lookups_before = store.stats.get("lookups")
+        assert store.contains(1)
+        assert not store.contains(2)
+        assert store.stats.get("lookups") == lookups_before
+
+    def test_insert_clears_dirty(self):
+        store = PatternStore(num_contexts=64, assoc=4, context_tag_bits=14)
+        ps = make_set()
+        ps.dirty = True
+        store.insert(7, ps)
+        assert not ps.dirty
+
+    def test_overwrite_same_context(self):
+        store = PatternStore(num_contexts=64, assoc=4, context_tag_bits=14)
+        first, second = make_set(), make_set()
+        store.insert(7, first)
+        store.insert(7, second)
+        assert store.lookup(7) is second
+        assert store.resident_sets() == 1
+
+    def test_eviction_favors_confident_sets(self):
+        store = PatternStore(num_contexts=2, assoc=2, context_tag_bits=14)
+        # both contexts land in the single storage set
+        confident = make_set(confident=5)
+        weak = make_set(confident=0)
+        store.insert(0 * store.num_sets, confident)  # context ids congruent mod num_sets
+        store.insert(1 * store.num_sets, weak)
+        store.insert(2 * store.num_sets, make_set())  # forces an eviction
+        assert store.stats.get("evictions") == 1
+        # the confident set survived
+        assert store.lookup(0) is confident
+
+    def test_tag_aliasing_merges_contexts(self):
+        store = PatternStore(num_contexts=8, assoc=2, context_tag_bits=2)
+        a = make_set()
+        num_sets = store.num_sets
+        alias_stride = num_sets * 4  # same set, same 2-bit tag
+        store.insert(3, a)
+        assert store.lookup(3 + alias_stride) is a  # aliased hit
+
+    def test_infinite_mode_never_evicts(self):
+        store = PatternStore(num_contexts=4, assoc=2, context_tag_bits=14, infinite=True)
+        for cid in range(100):
+            store.insert(cid, make_set())
+        assert store.resident_sets() == 100
+        assert store.stats.get("evictions") == 0
+
+    def test_rejects_bad_geometry(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PatternStore(num_contexts=0, assoc=2, context_tag_bits=4)
+        with pytest.raises(ValueError):
+            PatternStore(num_contexts=4, assoc=0, context_tag_bits=4)

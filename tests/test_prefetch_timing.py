@@ -1,0 +1,89 @@
+"""Tests for LLBP's prefetch-ahead semantics (the D-UB window).
+
+The defining trick of LLBP: when a (context-forming) unconditional
+branch executes, the hash of the most recent W UBs names the context
+that becomes *active* only after D further UBs -- giving the pattern
+store D UB-executions of time to deliver the set.  These tests pin that
+identity down and check the latency accounting around it.
+"""
+
+from repro.core.simulator import simulate
+from repro.llbp import LLBP, ContextStreams, llbp_default
+from repro.llbp.rcr import CONTEXT_KINDS
+from repro.tage import TraceTensors, tsl_64k
+from tests.conftest import TEST_SCALE
+from tests.test_llbp import path_correlated_trace
+
+
+def build(trace, **overrides):
+    tensors = TraceTensors(trace)
+    contexts = ContextStreams(tensors)
+    predictor = LLBP(
+        llbp_default(scale=TEST_SCALE, **overrides), tsl_64k(scale=TEST_SCALE), tensors, contexts
+    )
+    return predictor, tensors, contexts
+
+
+class TestPrefetchWindowIdentity:
+    def test_prefetch_id_matches_context_d_ubs_later(self):
+        trace = path_correlated_trace(300)
+        predictor, tensors, contexts = build(trace)
+        distance = predictor.config.prefetch_distance
+        # for every context-forming UB k, the prefetch id computed at k
+        # equals the active context of any branch with exactly k+1+D UBs
+        # before it
+        ub_positions = [
+            t for t in range(len(trace)) if tensors.kinds[t] in CONTEXT_KINDS
+        ]
+        checked = 0
+        for k, t_ub in enumerate(ub_positions[: len(ub_positions) - distance - 2]):
+            pcid = predictor._prefetch_id(k)
+            # find a record whose ub_prefix == k + 1 + D
+            for t in range(t_ub + 1, len(trace)):
+                if predictor._ub_prefix[t] == k + 1 + distance:
+                    assert predictor._context_of(t, trace.pcs[t]) == pcid
+                    checked += 1
+                    break
+            if checked > 40:
+                break
+        assert checked > 10
+
+    def test_cold_context_is_minus_one(self):
+        trace = path_correlated_trace(50)
+        predictor, _, _ = build(trace)
+        assert predictor._context_of(0, trace.pcs[0]) == -1
+
+
+class TestLatencyAccounting:
+    # a 2-entry PB forces constant store traffic so the latency paths are
+    # exercised (the toy trace's few contexts otherwise all stay resident)
+    def test_late_hits_exist_with_tiny_distance(self):
+        # D=0 removes the latency-hiding window entirely: prefetches are
+        # triggered by the UB immediately preceding the context activation
+        # and cannot arrive in time
+        trace = path_correlated_trace(600)
+        predictor, tensors, _ = build(
+            trace, prefetch_distance=0, access_latency=50, pattern_buffer_entries=2
+        )
+        result = simulate(predictor, trace, tensors)
+        assert result.extra["pb_late_hits"] > 0
+
+    def test_generous_window_hides_latency(self):
+        trace = path_correlated_trace(600)
+        predictor, tensors, _ = build(
+            trace, prefetch_distance=6, access_latency=1, pattern_buffer_entries=2
+        )
+        result = simulate(predictor, trace, tensors)
+        timely = result.stats.get("prefetch_timely", 0)
+        late = result.stats.get("prefetch_late", 0)
+        assert timely > late
+
+    def test_higher_latency_more_late_arrivals(self):
+        trace = path_correlated_trace(600)
+        fast, tensors, _ = build(trace, access_latency=1, pattern_buffer_entries=2)
+        slow, _, _ = build(trace, access_latency=200, pattern_buffer_entries=2)
+        fast_result = simulate(fast, trace, tensors)
+        slow_result = simulate(slow, trace, tensors)
+        assert (
+            slow_result.extra["pb_late_hits"] >= fast_result.extra["pb_late_hits"]
+        )

@@ -1,0 +1,97 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulator import simulate
+from repro.llbp.pattern import PatternSet
+from repro.llbp.pattern_buffer import PatternBuffer
+from repro.llbp.pattern_store import PatternStore
+from repro.llbp.rcr import rolling_window_hashes
+from repro.tage import TageSCL, TraceTensors, tsl_64k
+from tests.conftest import TEST_SCALE, make_cond_trace
+
+
+class TestSimulationDeterminism:
+    def test_same_trace_same_result(self):
+        trace = make_cond_trace([bool((i * 7) % 3) for i in range(1500)])
+        results = []
+        for _ in range(2):
+            tensors = TraceTensors(trace)
+            result = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+            results.append((result.mispredictions, result.instructions))
+        assert results[0] == results[1]
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 40), st.booleans()),  # (context id, dirty?)
+            max_size=120,
+        )
+    )
+    def test_store_residency_bounded(self, ops):
+        store = PatternStore(num_contexts=12, assoc=3, context_tag_bits=6)
+        for cid, _dirty in ops:
+            ps = PatternSet(capacity=16)
+            ps.allocate(0, cid, True)
+            store.insert(cid, ps)
+            assert store.resident_sets() <= store.num_sets * store.assoc
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 100)),  # (cid, now)
+            max_size=150,
+        )
+    )
+    def test_pattern_buffer_capacity_invariant(self, ops):
+        pb = PatternBuffer(8)
+        for cid, now in ops:
+            if cid % 3 == 0:
+                pb.insert(cid, PatternSet(capacity=4), now, from_prefetch=bool(cid & 1))
+            else:
+                pb.get(cid, now)
+            assert len(pb) <= 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2**32), min_size=3, max_size=60),
+        window=st.integers(1, 8),
+    )
+    def test_window_hash_equality_implies_window_equality(self, values, window):
+        hashes = rolling_window_hashes(values, window)
+        for i in range(window - 1, len(values)):
+            for j in range(window - 1, i):
+                win_i = tuple(values[i - window + 1 : i + 1])
+                win_j = tuple(values[j - window + 1 : j + 1])
+                if win_i == win_j:
+                    assert hashes[i] == hashes[j]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        allocations=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 500), st.booleans()),
+            max_size=100,
+        ),
+        capacity=st.integers(1, 16),
+    )
+    def test_pattern_set_capacity_invariant(self, allocations, capacity):
+        ps = PatternSet(capacity=capacity)
+        for length_index, tag, taken in allocations:
+            ps.allocate(length_index, tag, taken)
+            assert len(ps) <= capacity
+            # counters always stay in the 3-bit range
+            assert all(ps.ctr_min <= p.ctr <= ps.ctr_max for p in ps.patterns)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 1000))
+    def test_tage_never_crashes_on_random_streams(self, seed):
+        rng = random.Random(seed)
+        trace = make_cond_trace([rng.random() < 0.5 for _ in range(400)])
+        tensors = TraceTensors(trace)
+        result = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+        assert 0 <= result.mispredictions <= result.conditional_branches

@@ -1,0 +1,91 @@
+"""Tests for the rolling context register / context streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import mix64
+from repro.llbp.rcr import CONTEXT_KINDS, ContextStreams, rolling_window_hashes
+from repro.tage.streams import TraceTensors
+from repro.traces.record import BranchKind, Trace
+
+
+def naive_window_hash(values, k, window):
+    """Reference: polynomial hash of values[max(0, k-window+1) .. k]."""
+    B = 0x100000001B3
+    M = (1 << 64) - 1
+    acc = 0
+    for v in values[max(0, k - window + 1) : k + 1]:
+        acc = (acc * B + v) & M
+    return mix64(acc)
+
+
+class TestRollingWindowHashes:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=120),
+        window=st.integers(1, 70),
+    )
+    def test_matches_naive(self, values, window):
+        hashes = rolling_window_hashes(values, window)
+        for k in range(len(values)):
+            assert hashes[k] == naive_window_hash(values, k, window)
+
+    def test_same_window_same_hash(self):
+        values = [7, 8, 9, 7, 8, 9]
+        hashes = rolling_window_hashes(values, 3)
+        assert hashes[2] == hashes[5]
+
+    def test_different_window_differs(self):
+        hashes = rolling_window_hashes([1, 2, 3, 4], 2)
+        assert hashes[1] != hashes[3]
+
+    def test_rejects_zero_window(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            rolling_window_hashes([1], 0)
+
+
+def ub_trace():
+    trace = Trace(name="ubs")
+    # cond, call, cond, return, jump, call
+    trace.append(0x10, 0x20, BranchKind.COND, True, 0)
+    trace.append(0x14, 0x100, BranchKind.CALL, True, 0)
+    trace.append(0x100, 0x120, BranchKind.COND, False, 0)
+    trace.append(0x104, 0x18, BranchKind.RETURN, True, 0)
+    trace.append(0x18, 0x40, BranchKind.JUMP, True, 0)
+    trace.append(0x40, 0x200, BranchKind.CALL, True, 0)
+    return trace
+
+
+class TestContextStreams:
+    def test_jumps_excluded_from_context_formation(self):
+        streams = ContextStreams(TraceTensors(ub_trace()))
+        # only the call/return/call records form context UBs
+        assert streams.num_ubs == 3
+
+    def test_ub_prefix_counts_strictly_before(self):
+        streams = ContextStreams(TraceTensors(ub_trace()))
+        assert streams.ub_prefix == [0, 0, 1, 1, 2, 2]
+
+    def test_context_cold_until_enough_ubs(self):
+        streams = ContextStreams(TraceTensors(ub_trace()))
+        assert streams.context_of_record(0, depth=2, distance=1) == -1
+        # record 4 has 2 UBs before it; distance 1 -> window ends at UB 0
+        assert streams.context_of_record(4, depth=2, distance=1) != -1
+
+    def test_window_cache(self):
+        streams = ContextStreams(TraceTensors(ub_trace()))
+        assert streams.window_hashes(4) is streams.window_hashes(4)
+
+    def test_context_kinds_constant(self):
+        assert int(BranchKind.CALL) in CONTEXT_KINDS
+        assert int(BranchKind.RETURN) in CONTEXT_KINDS
+        assert int(BranchKind.JUMP) not in CONTEXT_KINDS
+        assert int(BranchKind.COND) not in CONTEXT_KINDS
+
+    def test_same_call_sequence_same_context(self, small_bundle):
+        _, _, streams = small_bundle
+        hashes = streams.window_hashes(2)
+        # rolling hashes must repeat (finite program paths)
+        assert len(set(hashes)) < len(hashes)

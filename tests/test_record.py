@@ -1,0 +1,79 @@
+"""Tests for the trace representation."""
+
+import pytest
+
+from repro.traces.record import BranchKind, BranchRecord, Trace
+
+
+def _sample_trace():
+    trace = Trace(name="t", seed=3)
+    trace.append(0x100, 0x200, BranchKind.COND, True, 2)
+    trace.append(0x104, 0x300, BranchKind.CALL, True, 0)
+    trace.append(0x300, 0x108, BranchKind.RETURN, True, 5)
+    trace.append(0x108, 0x140, BranchKind.COND, False, 1)
+    return trace
+
+
+class TestBranchKind:
+    def test_cond_is_conditional(self):
+        assert not BranchKind.COND.is_unconditional
+
+    def test_others_unconditional(self):
+        for kind in (BranchKind.JUMP, BranchKind.CALL, BranchKind.RETURN):
+            assert kind.is_unconditional
+
+
+class TestTrace:
+    def test_length_and_counts(self):
+        trace = _sample_trace()
+        assert len(trace) == 4
+        assert trace.num_conditional == 2
+        assert trace.num_unconditional == 2
+
+    def test_instructions_include_branches(self):
+        trace = _sample_trace()
+        assert trace.num_instructions == 2 + 0 + 5 + 1 + 4
+
+    def test_records_roundtrip(self):
+        trace = _sample_trace()
+        records = list(trace.records())
+        assert records[0] == BranchRecord(0x100, 0x200, BranchKind.COND, True, 2)
+        assert records[1].kind == BranchKind.CALL
+
+    def test_negative_gap_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            trace.append(0x100, 0x200, BranchKind.COND, True, -1)
+
+    def test_slice(self):
+        trace = _sample_trace()
+        sub = trace.slice(1, 3)
+        assert len(sub) == 2
+        assert sub.pcs == [0x104, 0x300]
+
+    def test_validate_ok(self):
+        _sample_trace().validate()
+
+    def test_validate_catches_not_taken_unconditional(self):
+        trace = _sample_trace()
+        trace.taken[1] = False
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_catches_length_mismatch(self):
+        trace = _sample_trace()
+        trace.pcs.append(0x999)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_statistics(self):
+        stats = _sample_trace().statistics()
+        assert stats["branches"] == 4
+        assert stats["conditional"] == 2
+        assert stats["taken_ratio"] == 0.5
+        assert stats["static_branches"] == 4
+
+    def test_empty_trace_statistics(self):
+        stats = Trace().statistics()
+        assert stats["branches"] == 0
+        assert stats["taken_ratio"] == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the experiment report utilities and env knobs."""
+
+from repro.experiments.report import (
+    default_branches,
+    default_workloads,
+    format_table,
+    hrule,
+    pct,
+)
+from repro.traces.workloads import GEM5_WORKLOAD_NAMES, WORKLOAD_NAMES
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "bb"], [["1", "22"], ["333", "4"]])
+        assert "a" in text and "bb" in text and "333" in text
+
+    def test_title_line(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["1"], ["100"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_non_string_cells_coerced(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestPct:
+    def test_signed(self):
+        assert pct(3.14) == "+3.1%"
+        assert pct(-2.0) == "-2.0%"
+
+    def test_unsigned(self):
+        assert pct(3.14, signed=False) == "3.1%"
+
+
+class TestHrule:
+    def test_width(self):
+        assert hrule(10) == "-" * 10
+
+
+class TestDefaultWorkloads:
+    def test_all_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+        assert default_workloads("all") == list(WORKLOAD_NAMES)
+
+    def test_gem5_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+        assert default_workloads("gem5") == list(GEM5_WORKLOAD_NAMES)
+
+    def test_subset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+        subset = default_workloads("subset")
+        assert len(subset) == 3
+        assert set(subset) <= set(WORKLOAD_NAMES)
+
+    def test_quick_knob_trims(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "quick")
+        assert len(default_workloads("all")) == 3
+        assert len(default_workloads("gem5")) == 3
+
+
+class TestDefaultBranches:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BRANCHES", raising=False)
+        assert default_branches() == 120_000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BRANCHES", "5000")
+        assert default_branches() == 5000

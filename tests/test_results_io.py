@@ -1,0 +1,67 @@
+"""Tests for result persistence."""
+
+import pytest
+
+from repro.core.results_io import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.core.simulator import SimulationResult
+
+
+def sample_result():
+    result = SimulationResult(
+        workload="kafka",
+        predictor="llbpx",
+        instructions=90_000,
+        conditional_branches=15_000,
+        mispredictions=450,
+        warmup_mispredictions=210,
+        total_instructions=120_000,
+    )
+    result.stats = {"llbp_provides": 1200, "predictions": 15_000}
+    result.extra = {"store_reads": 800.0, "ctt_tracked": 12.0}
+    return result
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored == original
+
+    def test_mpki_preserved(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.mpki == original.mpki
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        results = [sample_result(), sample_result()]
+        results[1].workload = "nodeapp"
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded == results
+
+    def test_empty_collection(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_results([], path)
+        assert load_results(path) == []
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "results": []}')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_real_simulation_roundtrip(self, quick_runner, tmp_path):
+        result = quick_runner.run_one("kafka", "llbp")
+        path = tmp_path / "real.json"
+        save_results([result], path)
+        loaded = load_results(path)[0]
+        assert loaded.mpki == result.mpki
+        assert loaded.stats == result.stats

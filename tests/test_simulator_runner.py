@@ -1,0 +1,109 @@
+"""Tests for the simulation loop and the experiment runner."""
+
+import pytest
+
+from repro.core.runner import (
+    RunnerConfig,
+    comparison_table,
+    geometric_mean_mpki,
+    reduction,
+)
+from repro.core.simulator import simulate
+from repro.tage import TageSCL, TraceTensors, tsl_64k
+from tests.conftest import TEST_SCALE, make_cond_trace
+
+
+class TestSimulator:
+    def test_warmup_excluded_from_measurement(self):
+        trace = make_cond_trace([True] * 1000)
+        tensors = TraceTensors(trace)
+        result = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors, warmup_fraction=0.5)
+        assert result.conditional_branches == 500
+        assert result.instructions < result.total_instructions
+
+    def test_zero_warmup(self):
+        trace = make_cond_trace([True] * 100)
+        tensors = TraceTensors(trace)
+        result = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors, warmup_fraction=0.0)
+        assert result.conditional_branches == 100
+        assert result.instructions == result.total_instructions
+
+    def test_invalid_warmup_rejected(self):
+        trace = make_cond_trace([True] * 10)
+        tensors = TraceTensors(trace)
+        with pytest.raises(ValueError):
+            simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors, warmup_fraction=1.0)
+
+    def test_mpki_definition(self):
+        trace = make_cond_trace([True] * 100)
+        tensors = TraceTensors(trace)
+        result = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+        assert result.mpki == 1000 * result.mispredictions / result.instructions
+
+    def test_summary_readable(self):
+        trace = make_cond_trace([True] * 100)
+        tensors = TraceTensors(trace)
+        result = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+        assert "MPKI" in result.summary()
+
+
+class TestRunner:
+    def test_result_cache_hits(self, quick_runner):
+        a = quick_runner.run_one("kafka", "tsl_64k")
+        b = quick_runner.run_one("kafka", "tsl_64k")
+        assert a is b
+
+    def test_overrides_key_the_cache(self, quick_runner):
+        a = quick_runner.run_one("kafka", "llbp")
+        b = quick_runner.run_one("kafka", "llbp", context_depth=2)
+        assert a is not b
+
+    def test_unknown_config_rejected(self, quick_runner):
+        with pytest.raises(KeyError):
+            quick_runner.run_one("kafka", "magic_predictor")
+
+    def test_bundle_release(self, quick_runner):
+        quick_runner.bundle("kafka")
+        quick_runner.release("kafka")
+        assert not quick_runner._bundles
+
+    def test_run_matrix_shape(self, quick_runner):
+        matrix = quick_runner.run_matrix(["kafka"], ["tsl_64k", "llbp"])
+        assert set(matrix) == {"kafka"}
+        assert set(matrix["kafka"]) == {"tsl_64k", "llbp"}
+
+    def test_optw_runs(self, quick_runner):
+        result = quick_runner.run_one("kafka", "llbpx_optw")
+        assert result.predictor == "llbpx_optw"
+        dynamic = quick_runner.run_one("kafka", "llbpx")
+        # Opt-W is profile-then-replay of fixed depths; it should be at
+        # least as good as the worse of the oracle options
+        assert result.mpki <= dynamic.mpki * 1.05
+
+    def test_predictor_names_propagate(self, quick_runner):
+        assert quick_runner.run_one("kafka", "llbp_0lat").predictor == "llbp_0lat"
+
+
+class TestComparisons:
+    def test_reduction_sign(self, quick_runner):
+        base = quick_runner.run_one("kafka", "tsl_64k")
+        better = quick_runner.run_one("kafka", "tsl_512k")
+        assert reduction(base, better) > 0
+        assert reduction(base, base) == 0
+
+    def test_comparison_table(self, quick_runner):
+        matrix = quick_runner.run_matrix(["kafka"], ["tsl_64k", "tsl_512k"])
+        rows = comparison_table(matrix, baseline="tsl_64k")
+        assert rows[0].workload == "kafka"
+        assert "tsl_512k" in rows[0].reductions
+
+    def test_geometric_mean(self, quick_runner):
+        base = quick_runner.run_one("kafka", "tsl_64k")
+        assert geometric_mean_mpki([base]) == pytest.approx(base.mpki)
+        with pytest.raises(ValueError):
+            geometric_mean_mpki([])
+
+    def test_runner_config_defaults(self):
+        config = RunnerConfig()
+        assert config.scale == 8
+        assert config.num_branches == 120_000

@@ -1,0 +1,78 @@
+"""Tests for statistics accumulators."""
+
+import pytest
+
+from repro.common.stats import RatioStat, StatCounter, StatGroup, mpki
+
+
+class TestMpki:
+    def test_basic(self):
+        assert mpki(5, 1000) == 5.0
+
+    def test_zero_mispredictions(self):
+        assert mpki(0, 1000) == 0.0
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            mpki(1, 0)
+
+
+class TestStatCounter:
+    def test_add_default(self):
+        c = StatCounter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert int(c) == 5
+
+    def test_reset(self):
+        c = StatCounter("x")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRatioStat:
+    def test_ratio(self):
+        r = RatioStat("hits")
+        for hit in (True, False, True, True):
+            r.record(hit)
+        assert r.ratio == 0.75
+
+    def test_empty_ratio_zero(self):
+        assert RatioStat("hits").ratio == 0.0
+
+    def test_reset(self):
+        r = RatioStat("hits")
+        r.record(True)
+        r.reset()
+        assert r.total == 0 and r.hits == 0
+
+
+class TestStatGroup:
+    def test_counter_created_on_first_use(self):
+        g = StatGroup("g")
+        g.add("events")
+        g.add("events", 2)
+        assert g.get("events") == 3
+
+    def test_get_missing_is_zero(self):
+        assert StatGroup("g").get("nope") == 0
+
+    def test_as_dict_sorted(self):
+        g = StatGroup("g")
+        g.add("zulu")
+        g.add("alpha")
+        assert list(g.as_dict()) == ["alpha", "zulu"]
+
+    def test_reset_all(self):
+        g = StatGroup("g")
+        g.add("a", 5)
+        g.reset()
+        assert g.get("a") == 0
+
+    def test_iteration(self):
+        g = StatGroup("g")
+        g.add("a")
+        g.add("b")
+        assert len(list(g)) == 2

@@ -1,0 +1,124 @@
+"""Tests for vectorised stream precomputation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import FoldedHistory
+from repro.tage.config import HISTORY_LENGTHS
+from repro.tage.streams import (
+    TraceTensors,
+    build_index_streams,
+    build_tag_streams,
+    folded_stream,
+    history_bits,
+    xor_fold,
+)
+from repro.traces.record import BranchKind, Trace
+from tests.conftest import make_mixed_trace
+
+
+class TestFoldedStream:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        length=st.integers(1, 64),
+        width=st.integers(1, 14),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_incremental(self, n, length, width, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=n).astype(np.uint8)
+        vec = folded_stream(bits, length, width)
+        fh = FoldedHistory(length, width)
+        for t in range(n):
+            assert fh.value == vec[t]
+            old = int(bits[t - length]) if t - length >= 0 else 0
+            fh.update(int(bits[t]), old)
+
+    def test_longer_than_trace(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        out = folded_stream(bits, 3000, 11)
+        assert len(out) == 3
+
+    def test_rejects_bad_args(self):
+        bits = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            folded_stream(bits, 0, 4)
+        with pytest.raises(ValueError):
+            folded_stream(bits, 4, 0)
+
+
+class TestXorFold:
+    def test_identity_when_wide_enough(self):
+        values = np.array([5, 9, 1000], dtype=np.int64)
+        assert list(xor_fold(values, 14, 14)) == [5, 9, 1000]
+
+    def test_fold_preserves_low_bit_dependence(self):
+        values = np.arange(1 << 10, dtype=np.int64)
+        folded = xor_fold(values, 20, 5)
+        assert folded.max() < 32
+        assert len(np.unique(folded)) == 32
+
+    def test_fold_depends_on_high_bits(self):
+        a = xor_fold(np.array([0], dtype=np.int64), 20, 6)[0]
+        b = xor_fold(np.array([1 << 18], dtype=np.int64), 20, 6)[0]
+        assert a != b
+
+
+class TestHistoryBits:
+    def test_conditional_uses_outcome(self):
+        trace = Trace()
+        trace.append(0x100, 0x200, BranchKind.COND, True, 0)
+        trace.append(0x100, 0x200, BranchKind.COND, False, 0)
+        bits = history_bits(trace)
+        assert bits[0] == 1 and bits[1] == 0
+
+    def test_unconditional_uses_target(self):
+        trace = Trace()
+        trace.append(0x100, 0x0, BranchKind.CALL, True, 0)
+        trace.append(0x100, 0x4, BranchKind.CALL, True, 0)
+        bits = history_bits(trace)
+        # different targets can produce different history bits
+        assert set(bits) <= {0, 1}
+
+
+class TestTraceTensors:
+    def test_instr_index_monotonic(self):
+        tensors = TraceTensors(make_mixed_trace(500))
+        diffs = np.diff(tensors.instr_index)
+        assert (diffs >= 1).all()
+
+    def test_fold_cache_reused(self):
+        tensors = TraceTensors(make_mixed_trace(200))
+        a = tensors.fold(37, 14)
+        b = tensors.fold(37, 14)
+        assert a is b
+        tensors.release_folds()
+        c = tensors.fold(37, 14)
+        assert c is not a
+        assert (c == a).all()
+
+
+class TestTableStreams:
+    def test_shapes_and_ranges(self):
+        tensors = TraceTensors(make_mixed_trace(300))
+        idx = build_index_streams(tensors, HISTORY_LENGTHS, [7] * len(HISTORY_LENGTHS))
+        tag = build_tag_streams(tensors, HISTORY_LENGTHS, [13] * len(HISTORY_LENGTHS))
+        assert len(idx) == len(HISTORY_LENGTHS)
+        assert all(len(row) == tensors.num_records for row in idx)
+        assert all(0 <= v < 128 for v in idx[0])
+        assert all(0 <= v < 8192 for v in tag[20])
+
+    def test_mismatched_args_rejected(self):
+        tensors = TraceTensors(make_mixed_trace(50))
+        with pytest.raises(ValueError):
+            build_index_streams(tensors, [6, 12], [7])
+        with pytest.raises(ValueError):
+            build_tag_streams(tensors, [6], [13, 13])
+
+    def test_tables_produce_distinct_streams(self):
+        tensors = TraceTensors(make_mixed_trace(300))
+        idx = build_index_streams(tensors, [6, 3000], [7, 7])
+        assert list(idx[0]) != list(idx[1])

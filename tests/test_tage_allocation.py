@@ -1,0 +1,79 @@
+"""Focused tests on TAGE's allocation and useful-bit machinery."""
+
+from repro.tage import TageCore, TraceTensors, tsl_64k
+from tests.conftest import TEST_SCALE, make_cond_trace
+
+
+def drive(core, trace, start=0, stop=None):
+    stop = stop if stop is not None else len(trace)
+    for t in range(start, stop):
+        pred = core.predict(t, trace.pcs[t])
+        core.update(t, trace.pcs[t], trace.taken[t], pred)
+
+
+class TestAllocation:
+    def test_no_allocation_when_predicting_correctly(self):
+        trace = make_cond_trace([True] * 500)
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        drive(core, trace)
+        # bimodal learns immediately; few or no tagged allocations needed
+        assert core.stats.get("allocations") <= 3
+
+    def test_allocations_on_hard_stream(self):
+        trace = make_cond_trace([bool((i // 2) % 2) for i in range(1000)])
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        drive(core, trace)
+        assert core.stats.get("allocations") > 0
+
+    def test_allocated_entries_have_longer_history(self):
+        # after training on a pattern needing history, the provider should
+        # be a tagged table, not the bimodal
+        pattern = [True, True, False, False]
+        trace = make_cond_trace([pattern[i % 4] for i in range(2000)])
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        drive(core, trace)
+        providers = set()
+        for t in range(len(trace) - 50, len(trace)):
+            providers.add(core.predict(t, trace.pcs[t]).provider_table)
+        assert any(p >= 0 for p in providers)
+
+    def test_useful_decay_fires_under_pressure(self):
+        # when every candidate entry is protected by its useful bit,
+        # allocation failures accumulate ticks until a decay sweep halves
+        # all useful bits
+        trace = make_cond_trace([True] * 10)
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        for table in core._useful:
+            for i in range(len(table)):
+                table[i] = 1
+        for _ in range(core._tick_max + 1):
+            core._allocate(0, trace.pcs[0], True, provider_table=-1)
+        assert core.stats.get("useful_decays") >= 1
+        # the sweep halves 1-bit useful values to zero
+        assert all(v == 0 for table in core._useful for v in table)
+
+    def test_update_counts_mispredictions(self):
+        trace = make_cond_trace([True, False] * 200)
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        drive(core, trace)
+        assert core.stats.get("mispredictions") > 0
+        assert core.stats.get("updates") == len(trace)
+
+
+class TestUseAltOnNA:
+    def test_alt_choice_trained(self):
+        # a noisy stream makes newly-allocated entries unreliable; the
+        # use-alt counter should move from its centre
+        import random
+
+        rng = random.Random(4)
+        trace = make_cond_trace([rng.random() < 0.85 for _ in range(4000)])
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        drive(core, trace)
+        assert core._use_alt != 8

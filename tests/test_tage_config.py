@@ -1,0 +1,92 @@
+"""Tests for TAGE configuration and presets."""
+
+import pytest
+
+from repro.tage.config import (
+    DEEP_HISTORY_LENGTHS,
+    HISTORY_LENGTHS,
+    LLBP_HISTORY_LENGTHS,
+    SHALLOW_HISTORY_LENGTHS,
+    TageConfig,
+    history_length_index,
+    preset_by_name,
+    tsl_512k,
+    tsl_64k,
+    tsl_infinite,
+    tsl_small,
+)
+
+
+class TestHistoryLengths:
+    def test_twenty_one_lengths(self):
+        assert len(HISTORY_LENGTHS) == 21
+
+    def test_paper_anchors_present(self):
+        for anchor in (6, 37, 78, 112, 232, 1444, 3000):
+            assert anchor in HISTORY_LENGTHS
+
+    def test_strictly_increasing(self):
+        assert list(HISTORY_LENGTHS) == sorted(set(HISTORY_LENGTHS))
+
+    def test_shallow_range_spec(self):
+        assert len(SHALLOW_HISTORY_LENGTHS) == 16
+        assert SHALLOW_HISTORY_LENGTHS[0] == 6
+        assert SHALLOW_HISTORY_LENGTHS[-1] == 232
+
+    def test_deep_range_spec(self):
+        assert len(DEEP_HISTORY_LENGTHS) == 16
+        assert DEEP_HISTORY_LENGTHS[0] == 37
+        assert DEEP_HISTORY_LENGTHS[-1] == 3000
+
+    def test_llbp_subset(self):
+        assert len(LLBP_HISTORY_LENGTHS) == 16
+        assert set(LLBP_HISTORY_LENGTHS) <= set(HISTORY_LENGTHS)
+
+    def test_history_length_index(self):
+        assert history_length_index(6) == 0
+        assert history_length_index(3000) == 20
+        with pytest.raises(ValueError):
+            history_length_index(7)
+
+
+class TestPresets:
+    def test_capacity_ratios(self):
+        assert tsl_512k().entries_per_table == 8 * tsl_64k().entries_per_table
+
+    def test_scaling_divides_entries(self):
+        assert tsl_64k(scale=8).entries_per_table == tsl_64k().entries_per_table // 8
+
+    def test_scaling_keeps_sc(self):
+        assert tsl_64k(scale=8).sc_entries == tsl_64k().sc_entries
+
+    def test_infinite_has_no_budget(self):
+        with pytest.raises(ValueError):
+            tsl_infinite().storage_bits()
+
+    def test_storage_grows_with_capacity(self):
+        assert tsl_512k().storage_bits() > tsl_64k().storage_bits()
+
+    def test_64k_storage_plausible(self):
+        kib = tsl_64k().storage_bits() / 8192
+        assert 40 < kib < 90
+
+    def test_preset_lookup(self):
+        assert preset_by_name("tsl_512k").name == "tsl_512k"
+        assert preset_by_name("tsl_16k").name == "tsl_16k"
+        with pytest.raises(KeyError):
+            preset_by_name("tsl_1m")
+
+    def test_small_presets_shrink(self):
+        assert tsl_small(7).entries_per_table < tsl_64k().entries_per_table
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TageConfig(scale=0)
+        with pytest.raises(ValueError):
+            TageConfig(history_lengths=(12, 6))
+        with pytest.raises(ValueError):
+            TageConfig(history_lengths=())
+
+    def test_tag_bits_short_vs_long(self):
+        config = tsl_64k()
+        assert config.tag_bits(0) < config.tag_bits(20)

@@ -1,0 +1,130 @@
+"""Behavioural tests for the TAGE core and TAGE-SC-L composition."""
+
+import random
+
+from repro.core.simulator import simulate
+from repro.tage import TageCore, TageSCL, TraceTensors, tsl_64k, tsl_infinite
+from repro.traces.record import BranchKind, Trace
+from tests.conftest import TEST_SCALE, make_cond_trace
+
+
+def run_tsl(trace, config=None):
+    config = config or tsl_64k(scale=TEST_SCALE)
+    tensors = TraceTensors(trace)
+    predictor = TageSCL(config, tensors)
+    return simulate(predictor, trace, tensors, warmup_fraction=0.5), predictor
+
+
+class TestTageLearnsPatterns:
+    def test_always_taken(self):
+        result, _ = run_tsl(make_cond_trace([True] * 1000))
+        assert result.mispredictions == 0
+
+    def test_always_not_taken(self):
+        result, _ = run_tsl(make_cond_trace([False] * 1000))
+        assert result.mispredictions == 0
+
+    def test_alternating(self):
+        result, _ = run_tsl(make_cond_trace([bool(i % 2) for i in range(2000)]))
+        assert result.mispredictions <= 2
+
+    def test_periodic_pattern(self):
+        pattern = [True, True, False, True, False, False, True]
+        outcomes = [pattern[i % len(pattern)] for i in range(4000)]
+        result, _ = run_tsl(make_cond_trace(outcomes))
+        assert result.miss_rate < 0.02
+
+    def test_long_period_needs_long_history(self):
+        # period 48 exceeds short tables; TAGE must escalate history length
+        rng = random.Random(3)
+        pattern = [rng.random() < 0.5 for _ in range(48)]
+        outcomes = [pattern[i % 48] for i in range(8000)]
+        result, predictor = run_tsl(outcomes and make_cond_trace(outcomes))
+        assert result.miss_rate < 0.10
+        assert predictor.tage.stats.get("allocations") > 0
+
+    def test_copycat_cross_branch_correlation(self):
+        rng = random.Random(1)
+        trace = Trace(name="copycat")
+        for _ in range(4000):
+            lead = rng.random() < 0.5
+            trace.append(0x1000, 0x2000, BranchKind.COND, lead, 2)
+            trace.append(0x3000, 0x4000, BranchKind.COND, lead, 2)
+        result, _ = run_tsl(trace)
+        # the follower half is fully predictable, the leader is coin flips
+        assert 0.20 < result.miss_rate < 0.32
+
+    def test_random_branch_not_worse_than_coin(self):
+        rng = random.Random(2)
+        result, _ = run_tsl(make_cond_trace([rng.random() < 0.5 for _ in range(4000)]))
+        assert result.miss_rate < 0.62
+
+
+class TestCapacityEffects:
+    def test_bigger_predictor_not_worse_on_big_workload(self, small_bundle):
+        trace, tensors, _ = small_bundle
+        small = simulate(TageSCL(tsl_64k(scale=32), tensors), trace, tensors)
+        large = simulate(TageSCL(tsl_64k(scale=4), tensors), trace, tensors)
+        assert large.mispredictions < small.mispredictions
+
+    def test_infinite_best(self, small_bundle):
+        trace, tensors, _ = small_bundle
+        finite = simulate(TageSCL(tsl_64k(scale=TEST_SCALE), tensors), trace, tensors)
+        infinite = simulate(TageSCL(tsl_infinite(), tensors), trace, tensors)
+        assert infinite.mispredictions < finite.mispredictions
+
+
+class TestTageInternals:
+    def test_occupancy_grows_with_allocations(self):
+        trace = make_cond_trace([bool((i // 3) % 2) for i in range(2000)])
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        assert core.occupancy() == 0.0
+        for t in range(len(trace)):
+            pred = core.predict(t, trace.pcs[t])
+            core.update(t, trace.pcs[t], trace.taken[t], pred)
+        assert core.occupancy() > 0.0
+
+    def test_prediction_reports_provider(self):
+        trace = make_cond_trace([True] * 200)
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
+        pred = core.predict(0, trace.pcs[0])
+        assert pred.provider_table == -1  # nothing allocated yet
+        assert pred.provider_length == 0
+
+    def test_stats_track_updates(self):
+        trace = make_cond_trace([True, False] * 300)
+        result, predictor = run_tsl(trace)
+        assert predictor.tage.stats.get("updates") == len(trace)
+
+    def test_infinite_mode_allocates_dict_entries(self):
+        trace = make_cond_trace([bool(i % 3) for i in range(600)])
+        tensors = TraceTensors(trace)
+        core = TageCore(tsl_infinite(), tensors)
+        for t in range(len(trace)):
+            pred = core.predict(t, trace.pcs[t])
+            core.update(t, trace.pcs[t], trace.taken[t], pred)
+        assert core.occupancy() > 0  # in infinite mode this is the entry count
+
+
+class TestStagedInterface:
+    def test_base_predict_then_sc(self):
+        trace = make_cond_trace([True] * 100)
+        tensors = TraceTensors(trace)
+        predictor = TageSCL(tsl_64k(scale=TEST_SCALE), tensors)
+        staged = predictor.base_predict(0, trace.pcs[0])
+        final = predictor.apply_sc(0, trace.pcs[0], staged, staged.pred, 0)
+        assert isinstance(final, bool)
+        assert staged.sc is not None
+
+    def test_sc_disabled_config(self):
+        trace = make_cond_trace([True] * 100)
+        tensors = TraceTensors(trace)
+        from dataclasses import replace
+
+        config = replace(tsl_64k(scale=TEST_SCALE), use_sc=False, use_loop=False)
+        predictor = TageSCL(config, tensors)
+        staged = predictor.base_predict(0, trace.pcs[0])
+        assert predictor.apply_sc(0, trace.pcs[0], staged, True, 0) is True
+        assert staged.sc is None

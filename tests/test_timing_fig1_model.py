@@ -1,0 +1,46 @@
+"""Model-level tests for the Fig 1 machine argument.
+
+The paper's Fig 1 claim must follow from the *structure* of the machine
+models for any workload with a sensible misprediction rate, not from a
+lucky simulation: if the aggressive machine removes proportionally more
+non-branch stall than branch stall, the branch-stall share must rise.
+These tests verify that implication directly on synthetic results.
+"""
+
+import pytest
+
+from repro.core.simulator import SimulationResult
+from repro.timing import evaluate_timing, sapphire_rapids_like, skylake_like
+
+
+def result_with(mpki: float, instructions: int = 1_000_000) -> SimulationResult:
+    return SimulationResult(
+        workload="w",
+        predictor="p",
+        instructions=instructions,
+        conditional_branches=instructions // 6,
+        mispredictions=int(mpki * instructions / 1000),
+        warmup_mispredictions=0,
+        total_instructions=instructions,
+    )
+
+
+class TestFig1Structure:
+    @pytest.mark.parametrize("base_mpki", [0.5, 2.0, 5.0, 10.0])
+    def test_share_rises_whenever_mpki_drops_moderately(self, base_mpki):
+        """A 30% MPKI reduction on the aggressive machine still raises the
+        branch-stall share, across the whole realistic MPKI range."""
+        sky = evaluate_timing(result_with(base_mpki), skylake_like())
+        spr = evaluate_timing(result_with(base_mpki * 0.7), sapphire_rapids_like())
+        assert spr.branch_stall_share > sky.branch_stall_share
+
+    @pytest.mark.parametrize("base_mpki", [1.0, 4.0, 8.0])
+    def test_cpi_drops_substantially(self, base_mpki):
+        sky = evaluate_timing(result_with(base_mpki), skylake_like())
+        spr = evaluate_timing(result_with(base_mpki * 0.7), sapphire_rapids_like())
+        assert spr.cpi < sky.cpi * 0.75  # paper: ~46% lower
+
+    def test_share_equalises_only_if_branch_stalls_vanish(self):
+        sky = evaluate_timing(result_with(2.0), skylake_like())
+        spr = evaluate_timing(result_with(0.0), sapphire_rapids_like())
+        assert spr.branch_stall_share == 0.0 < sky.branch_stall_share

@@ -1,0 +1,141 @@
+"""Tests for the timing models and cost metrics."""
+
+import pytest
+
+from repro.core.simulator import SimulationResult
+from repro.llbp import llbp_default, llbpx_default
+from repro.metrics import (
+    BITS_PER_TRANSACTION,
+    access_energy,
+    bandwidth_report,
+    energy_report,
+    llbp_budget,
+    overhead_percent,
+    prefetch_report,
+    tsl_budget,
+)
+from repro.metrics.energy import StructureGeometry
+from repro.tage import tsl_512k, tsl_64k
+from repro.timing import (
+    evaluate_timing,
+    sapphire_rapids_like,
+    skylake_like,
+    speedup,
+    table_ii_machine,
+)
+
+
+def fake_result(mispredictions=100, instructions=100_000, **kw):
+    result = SimulationResult(
+        workload="w",
+        predictor=kw.get("predictor", "p"),
+        instructions=instructions,
+        conditional_branches=instructions // 6,
+        mispredictions=mispredictions,
+        warmup_mispredictions=0,
+        total_instructions=instructions,
+    )
+    result.stats = kw.get("stats", {})
+    result.extra = kw.get("extra", {})
+    return result
+
+
+class TestTiming:
+    def test_cycle_accounting(self):
+        machine = table_ii_machine()
+        timing = evaluate_timing(fake_result(), machine)
+        assert timing.base_cycles == pytest.approx(100_000 / machine.width)
+        assert timing.branch_stall_cycles == pytest.approx(100 * machine.flush_penalty)
+        assert timing.total_cycles > timing.base_cycles
+
+    def test_fewer_mispredictions_speed_up(self):
+        machine = table_ii_machine()
+        base = fake_result(mispredictions=1000)
+        better = fake_result(mispredictions=500)
+        assert speedup(base, better, machine) > 0
+        assert speedup(base, base, machine) == 0
+
+    def test_branch_stall_share_bounded(self):
+        timing = evaluate_timing(fake_result(mispredictions=10_000), table_ii_machine())
+        assert 0 < timing.branch_stall_share < 1
+
+    def test_overriding_adds_stalls(self):
+        machine = table_ii_machine()
+        stats = {"predictions": 1000, "fast_path_overrides": 400}
+        result = fake_result(stats=stats)
+        plain = evaluate_timing(result, machine, model_overriding=False)
+        overriding = evaluate_timing(result, machine, model_overriding=True)
+        assert overriding.total_cycles > plain.total_cycles
+
+    def test_machines_ordered_by_aggressiveness(self):
+        sky, spr = skylake_like(), sapphire_rapids_like()
+        assert spr.width > sky.width
+        assert spr.other_stall_cpi < sky.other_stall_cpi
+        assert spr.predictor_scale < sky.predictor_scale
+
+
+class TestBandwidth:
+    def test_bits_per_instruction(self):
+        result = fake_result(extra={"store_reads": 100.0, "store_writes": 25.0})
+        report = bandwidth_report(result)
+        expected = BITS_PER_TRANSACTION * 125 / 100_000
+        assert report.bits_per_instruction == pytest.approx(expected)
+        assert report.read_bits_per_instruction > report.write_bits_per_instruction
+
+    def test_requires_llbp_result(self):
+        with pytest.raises(ValueError):
+            bandwidth_report(fake_result())
+
+
+class TestEnergy:
+    def test_access_energy_grows_with_size(self):
+        small = StructureGeometry("s", capacity_bits=8 * 1024, assoc=1, access_bits=64)
+        large = StructureGeometry("l", capacity_bits=4_000_000, assoc=1, access_bits=64)
+        assert access_energy(large) > access_energy(small)
+
+    def test_access_energy_grows_with_assoc_and_width(self):
+        base = StructureGeometry("b", 100_000, assoc=1, access_bits=64)
+        assoc = StructureGeometry("a", 100_000, assoc=8, access_bits=64)
+        wide = StructureGeometry("w", 100_000, assoc=1, access_bits=288)
+        assert access_energy(assoc) > access_energy(base)
+        assert access_energy(wide) > access_energy(base)
+
+    def test_llbpx_includes_ctt(self):
+        extra = {"store_reads": 10.0, "store_writes": 2.0}
+        stats = {"unconditional_branches": 5000}
+        llbp = energy_report(fake_result(extra=extra, stats=stats), llbp_default(scale=8))
+        llbpx = energy_report(fake_result(extra=extra, stats=stats), llbpx_default(scale=8))
+        assert "ctt" not in llbp.per_structure
+        assert "ctt" in llbpx.per_structure
+        assert llbpx.total > llbp.total  # same accesses + the CTT cost
+
+
+class TestPrefetchReport:
+    def test_fractions(self):
+        stats = {"prefetch_timely": 80, "prefetch_late": 10, "prefetch_unused": 10}
+        report = prefetch_report(fake_result(stats=stats))
+        assert report.timely_fraction == pytest.approx(0.8)
+        assert report.coverage == pytest.approx(0.9)
+        assert report.unused_fraction == pytest.approx(0.1)
+
+    def test_empty_run(self):
+        report = prefetch_report(fake_result())
+        assert report.total == 0 and report.coverage == 0.0
+
+
+class TestStorage:
+    def test_llbpx_overhead_small(self):
+        base = llbp_budget(llbp_default(), tsl_64k())
+        extended = llbp_budget(llbpx_default(), tsl_64k())
+        overhead = overhead_percent(base, extended)
+        assert 0 < overhead < 5  # paper: +1.8%
+
+    def test_512k_vs_64k(self):
+        small = tsl_budget(tsl_64k())
+        large = tsl_budget(tsl_512k())
+        assert large.total_bits > 6 * small.total_bits
+
+    def test_rcr_extension_counted(self):
+        llbp = llbp_budget(llbp_default(), tsl_64k())
+        llbpx = llbp_budget(llbpx_default(), tsl_64k())
+        assert llbpx.rcr_bits > llbp.rcr_bits

@@ -1,0 +1,49 @@
+"""Interplay tests for the staged TSL interface as LLBP consumes it."""
+
+import random
+
+from repro.core.simulator import simulate
+from repro.llbp import LLBP, ContextStreams, llbp_default
+from repro.tage import TageSCL, TraceTensors, tsl_64k
+from tests.conftest import TEST_SCALE, make_cond_trace
+from tests.test_llbp import path_correlated_trace
+
+
+class TestStandaloneEquivalence:
+    def test_predict_equals_staged_composition(self):
+        """TageSCL.predict must equal base_predict + apply_sc, step by step."""
+        rng = random.Random(11)
+        trace = make_cond_trace([rng.random() < 0.7 for _ in range(2000)])
+        tensors = TraceTensors(trace)
+        combined = TageSCL(tsl_64k(scale=TEST_SCALE), tensors)
+        staged = TageSCL(tsl_64k(scale=TEST_SCALE), tensors)
+        for t in range(len(trace)):
+            pc, taken = trace.pcs[t], trace.taken[t]
+            a = combined.predict(t, pc)
+            b = staged.base_predict(t, pc)
+            b.pred = staged.apply_sc(t, pc, b, b.pred, b.tage.confidence)
+            assert a.pred == b.pred, f"divergence at t={t}"
+            combined.update(t, pc, taken, a)
+            staged.update_sc(t, pc, taken, b)
+            staged.base_update(t, pc, taken, b)
+
+
+class TestBaselineUnmodified:
+    def test_tage_state_identical_with_and_without_llbp(self):
+        """LLBP's first level is an *unmodified* TAGE: its table contents
+        after a run must match a standalone TSL run on the same trace."""
+        trace = path_correlated_trace(400)
+        tensors = TraceTensors(trace)
+        contexts = ContextStreams(tensors)
+
+        standalone = TageSCL(tsl_64k(scale=TEST_SCALE), tensors)
+        simulate(standalone, trace, tensors)
+
+        wrapped = LLBP(llbp_default(scale=TEST_SCALE), tsl_64k(scale=TEST_SCALE), tensors, contexts)
+        simulate(wrapped, trace, tensors)
+
+        for table_a, table_b in zip(standalone.tage._ctrs, wrapped.tsl.tage._ctrs):
+            assert list(table_a) == list(table_b)
+        for table_a, table_b in zip(standalone.tage._tags, wrapped.tsl.tage._tags):
+            assert list(table_a) == list(table_b)
+        assert list(standalone.tage._bimodal) == list(wrapped.tsl.tage._bimodal)

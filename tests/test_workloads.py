@@ -1,0 +1,78 @@
+"""Tests for the 14 named workload profiles."""
+
+import pytest
+
+from repro.traces.workloads import (
+    ANALYSIS_WORKLOAD,
+    GEM5_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    build_program,
+    clear_trace_cache,
+    generate_workload,
+    workload_spec,
+)
+
+
+class TestProfiles:
+    def test_fourteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 14
+
+    def test_gem5_set_excludes_google_traces(self):
+        assert len(GEM5_WORKLOAD_NAMES) == 10
+        for google in ("charlie", "delta", "merced", "whiskey"):
+            assert google not in GEM5_WORKLOAD_NAMES
+
+    def test_analysis_workload_is_nodeapp(self):
+        assert ANALYSIS_WORKLOAD == "nodeapp"
+
+    def test_lookup_case_insensitive(self):
+        assert workload_spec("KAFKA").name == "kafka"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload_spec("quake3")
+
+    def test_unique_seeds(self):
+        seeds = [workload_spec(n).seed for n in WORKLOAD_NAMES]
+        assert len(set(seeds)) == len(seeds)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_program_builds(self, name):
+        program = build_program(workload_spec(name))
+        assert program.static_branch_count() > 50
+        assert len(program.conditional_sites()) > 20
+
+    def test_h2p_branches_present(self):
+        program = build_program(workload_spec("nodeapp"))
+        tags = {s.behavior.tag for s in program.conditional_sites()}
+        assert "path_correlated" in tags
+
+
+class TestGeneration:
+    def test_trace_valid_and_sized(self):
+        trace = generate_workload("kafka", num_branches=3000, use_cache=False)
+        trace.validate()
+        assert len(trace) >= 3000
+
+    def test_cache_returns_same_object(self):
+        clear_trace_cache()
+        a = generate_workload("kafka", num_branches=2000)
+        b = generate_workload("kafka", num_branches=2000)
+        assert a is b
+        clear_trace_cache()
+
+    def test_seed_override(self):
+        a = generate_workload("kafka", num_branches=2000, seed=1, use_cache=False)
+        b = generate_workload("kafka", num_branches=2000, seed=2, use_cache=False)
+        assert a.taken != b.taken
+
+    def test_branch_mix_server_like(self):
+        trace = generate_workload("nodeapp", num_branches=8000, use_cache=False)
+        stats = trace.statistics()
+        assert 0.2 < stats["unconditional"] / stats["branches"] < 0.55
+        assert 80 < stats["branches_per_kilo_inst"] < 250
+
+    def test_workloads_differ(self):
+        a = generate_workload("kafka", num_branches=2000, use_cache=False)
+        b = generate_workload("whiskey", num_branches=2000, use_cache=False)
+        assert set(a.pcs) != set(b.pcs)
