@@ -1,0 +1,151 @@
+"""Throughput benchmark: simulation rate and matrix wall-clock vs ``--jobs``.
+
+Measures the experiment execution layer itself (not a paper figure):
+
+* branches simulated per second and end-to-end matrix wall-clock for a
+  (workloads x configs) matrix at each ``--jobs`` level, and
+* the persistent result cache: cold-run vs warm-run wall-clock, with the
+  warm run asserted to perform zero simulations.
+
+Results go to ``BENCH_throughput.json`` (repo root by default), seeding
+the repo's performance trajectory -- future perf PRs re-run this and
+compare.  Parallel speedup is bounded by physical cores (recorded as
+``cpu_count`` in the payload); the cache speedup is hardware-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --branches 60000 --jobs 1,2,4,8 --workloads kafka,nodeapp,tomcat,wikipedia
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core import ResultCache, Runner, RunnerConfig
+from repro.traces.workloads import clear_trace_cache
+
+DEFAULT_WORKLOADS = "kafka,nodeapp,tomcat,wikipedia"
+DEFAULT_CONFIGS = "tsl_64k,llbp,llbpx"
+
+
+def _timed_matrix(config, workloads, configs, jobs, cache=None):
+    """One cold matrix run; returns (seconds, runner)."""
+    clear_trace_cache()  # charge trace generation to every run equally
+    runner = Runner(config, cache=cache)
+    start = time.perf_counter()
+    runner.run_matrix(workloads, configs, jobs=jobs)
+    return time.perf_counter() - start, runner
+
+
+def bench_jobs_sweep(config, workloads, configs, jobs_levels):
+    branches_total = config.num_branches * len(workloads) * len(configs)
+    runs = []
+    serial_seconds = None
+    for jobs in jobs_levels:
+        seconds, _ = _timed_matrix(config, workloads, configs, jobs)
+        if serial_seconds is None:
+            serial_seconds = seconds
+        runs.append(
+            {
+                "jobs": jobs,
+                "seconds": round(seconds, 3),
+                "branches_per_second": round(branches_total / seconds),
+                "speedup_vs_jobs1": round(serial_seconds / seconds, 3),
+            }
+        )
+        print(
+            f"jobs={jobs}: {seconds:7.2f}s  "
+            f"{branches_total / seconds / 1e3:8.1f} kbranch/s  "
+            f"speedup x{serial_seconds / seconds:.2f}"
+        )
+    return runs
+
+
+def bench_cache(config, workloads, configs):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold_seconds, cold_runner = _timed_matrix(
+            config, workloads, configs, jobs=1, cache=ResultCache(cache_dir)
+        )
+        warm_seconds, warm_runner = _timed_matrix(
+            config, workloads, configs, jobs=1, cache=ResultCache(cache_dir)
+        )
+        assert warm_runner.sim_count == 0, "warm cache must perform zero simulations"
+        print(
+            f"cache: cold {cold_seconds:.2f}s -> warm {warm_seconds:.3f}s "
+            f"(x{cold_seconds / warm_seconds:.0f}, {warm_runner.cache.hits} hits, "
+            f"0 simulations)"
+        )
+        return {
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "speedup": round(cold_seconds / warm_seconds, 1),
+            "cold_simulations": cold_runner.sim_count,
+            "warm_simulations": warm_runner.sim_count,
+            "warm_cache_hits": warm_runner.cache.hits,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--workloads", default=DEFAULT_WORKLOADS, help="comma-separated")
+    parser.add_argument("--configs", default=DEFAULT_CONFIGS, help="comma-separated")
+    parser.add_argument("--branches", type=int, default=60_000, help="trace length per workload")
+    parser.add_argument("--scale", type=int, default=8, help="capacity scale")
+    parser.add_argument("--jobs", default="1,2,4,8", help="comma-separated jobs levels")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_throughput.json"),
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    jobs_levels = [int(j) for j in args.jobs.split(",") if j.strip()]
+    config = RunnerConfig(scale=args.scale, num_branches=args.branches)
+
+    print(
+        f"matrix: {len(workloads)} workloads x {len(configs)} configs, "
+        f"{args.branches} branches each, cpu_count={os.cpu_count()}"
+    )
+    matrix_runs = bench_jobs_sweep(config, workloads, configs, jobs_levels)
+    cache_stats = bench_cache(config, workloads, configs)
+
+    payload = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "benchmark": {
+            "workloads": workloads,
+            "configs": configs,
+            "branches_per_workload": args.branches,
+            "scale": args.scale,
+            "total_branches": args.branches * len(workloads) * len(configs),
+        },
+        "matrix": matrix_runs,
+        "cache": cache_stats,
+        "notes": (
+            "speedup_vs_jobs1 is bounded by machine.cpu_count; on a >=4-core "
+            "machine jobs=4 approaches 4x on this embarrassingly parallel "
+            "matrix. cache.speedup is hardware-independent: a warm cache "
+            "performs zero simulations."
+        ),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,7 @@ Quickstart::
     print(llbpx.summary())
 """
 
-from repro.core import Runner, RunnerConfig, SimulationResult, reduction, simulate
+from repro.core import ResultCache, Runner, RunnerConfig, SimulationResult, reduction, simulate
 from repro.llbp import LLBP, LLBPX, LLBPConfig, LLBPXConfig, llbp_default, llbpx_default
 from repro.tage import TageConfig, TageSCL, TraceTensors, tsl_512k, tsl_64k, tsl_infinite
 from repro.traces import Trace, WorkloadSpec, WORKLOAD_NAMES, generate_workload
@@ -29,6 +29,7 @@ __all__ = [
     "LLBPConfig",
     "LLBPX",
     "LLBPXConfig",
+    "ResultCache",
     "Runner",
     "RunnerConfig",
     "SimulationResult",

@@ -10,7 +10,12 @@ Examples::
 
     python -m repro run --workload nodeapp --config tsl_64k --config llbpx
     python -m repro report fig12 --workloads kafka,nodeapp
+    python -m repro report fig12 --jobs 4 --cache-dir ~/.cache/repro
     python -m repro list
+
+``--jobs N`` fans uncached simulations out over N worker processes
+(bit-identical results); ``--cache-dir`` persists every result so repeat
+invocations -- and other figures sharing cells -- skip simulation.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import argparse
 import sys
 from typing import List
 
-from repro.core import Runner, RunnerConfig, reduction
+from repro.core import ResultCache, Runner, RunnerConfig, reduction
 from repro.traces.workloads import WORKLOAD_NAMES
 
 KNOWN_CONFIGS = (
@@ -34,7 +39,34 @@ KNOWN_REPORTS = (
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
-    return Runner(RunnerConfig(scale=args.scale, num_branches=args.branches))
+    cache = None
+    if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
+        cache = ResultCache(args.cache_dir)
+    return Runner(RunnerConfig(scale=args.scale, num_branches=args.branches), cache=cache)
+
+
+def _progress_printer(total: int):
+    """Per-cell progress callback (needed once cells complete out of order)."""
+    done = [0]
+
+    def progress(workload: str, config: str, result) -> None:
+        done[0] += 1
+        print(
+            f"[{done[0]:>3d}/{total}] {workload}/{config}  MPKI {result.mpki:.3f}",
+            file=sys.stderr,
+        )
+
+    return progress
+
+
+def _print_cache_stats(runner: Runner) -> None:
+    if runner.cache is not None:
+        stats = runner.cache.stats()
+        print(
+            f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['writes']} writes ({runner.sim_count} simulations)",
+            file=sys.stderr,
+        )
 
 
 def _workload_list(value: str) -> List[str]:
@@ -61,10 +93,14 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
+    progress = None
+    if args.jobs > 1:
+        progress = _progress_printer(len(args.workload) * len(args.config))
+    matrix = runner.run_matrix(args.workload, args.config, progress=progress, jobs=args.jobs)
     for workload in args.workload:
         baseline = None
         for config in args.config:
-            result = runner.run_one(workload, config)
+            result = matrix[workload][config]
             line = result.summary()
             if baseline is None:
                 baseline = result
@@ -72,6 +108,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 line += f"  ({reduction(baseline, result):+5.1f}% vs {baseline.predictor})"
             print(line)
         runner.release(workload)
+    _print_cache_stats(runner)
     return 0
 
 
@@ -81,16 +118,17 @@ def cmd_report(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     workloads = args.workloads
     name = args.name
+    jobs = args.jobs
     if name == "table1":
-        print(ex.format_table1(ex.run_table1(runner, workloads)))
+        print(ex.format_table1(ex.run_table1(runner, workloads, jobs=jobs)))
     elif name == "table2":
         print(ex.format_table2())
     elif name == "fig01":
-        print(ex.format_fig01(ex.run_fig01(runner, workloads)))
+        print(ex.format_fig01(ex.run_fig01(runner, workloads, jobs=jobs)))
     elif name == "fig04":
-        print(ex.format_fig04(ex.run_fig04(runner, workloads)))
+        print(ex.format_fig04(ex.run_fig04(runner, workloads, jobs=jobs)))
     elif name == "fig05":
-        print(ex.format_fig05(ex.run_fig05(runner, workloads)))
+        print(ex.format_fig05(ex.run_fig05(runner, workloads, jobs=jobs)))
     elif name == "fig06":
         print(ex.format_fig06_07(ex.run_fig06_07(runner, (workloads or ["nodeapp"])[0])))
     elif name == "fig08":
@@ -98,23 +136,34 @@ def cmd_report(args: argparse.Namespace) -> int:
     elif name == "fig09":
         print(ex.format_fig09(ex.run_fig09(runner, (workloads or ["nodeapp"])[0])))
     elif name == "fig12":
-        print(ex.format_fig12(ex.run_fig12(runner, workloads)))
+        print(ex.format_fig12(ex.run_fig12(runner, workloads, jobs=jobs)))
     elif name == "fig13":
-        print(ex.format_fig13(ex.run_fig13(runner, workloads)))
+        print(ex.format_fig13(ex.run_fig13(runner, workloads, jobs=jobs)))
     elif name == "fig14a":
-        print(ex.format_fig14a(ex.run_fig14a(runner, workloads)))
+        print(ex.format_fig14a(ex.run_fig14a(runner, workloads, jobs=jobs)))
     elif name == "fig14b":
-        print(ex.format_fig14b(ex.run_fig14b(runner, workloads)))
+        print(ex.format_fig14b(ex.run_fig14b(runner, workloads, jobs=jobs)))
     elif name == "fig15":
-        print(ex.format_fig15(ex.run_fig15(runner, workloads)))
+        print(ex.format_fig15(ex.run_fig15(runner, workloads, jobs=jobs)))
     elif name == "fig16":
-        print(ex.format_fig16(ex.run_fig16a(runner, workloads), ex.run_fig16b(runner, workloads)))
+        print(
+            ex.format_fig16(
+                ex.run_fig16a(runner, workloads, jobs=jobs),
+                ex.run_fig16b(runner, workloads, jobs=jobs),
+            )
+        )
     elif name == "sec7e":
-        print(ex.format_breakdown(ex.run_breakdown(runner, workloads)))
+        print(ex.format_breakdown(ex.run_breakdown(runner, workloads, jobs=jobs)))
     elif name == "sec7f":
-        print(ex.format_sensitivity(ex.run_hth_sweep(runner, workloads), ex.run_ctt_sweep(runner, workloads)))
+        print(
+            ex.format_sensitivity(
+                ex.run_hth_sweep(runner, workloads, jobs=jobs),
+                ex.run_ctt_sweep(runner, workloads, jobs=jobs),
+            )
+        )
     else:  # pragma: no cover - argparse choices guard this
         raise SystemExit(f"unknown report {name!r}")
+    _print_cache_stats(runner)
     return 0
 
 
@@ -125,6 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--branches", type=int, default=120_000, help="trace length per workload")
     common.add_argument("--scale", type=int, default=8, help="capacity scale (DESIGN.md §1)")
+    common.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiment matrices (1 = serial; results are bit-identical)",
+    )
+    common.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result-cache directory; repeat invocations skip finished simulations",
+    )
+    common.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (force re-simulation, do not read or write cached results)",
+    )
 
     p_list = sub.add_parser("list", help="show workloads, configs, reports")
     p_list.set_defaults(func=cmd_list)

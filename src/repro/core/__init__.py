@@ -19,7 +19,17 @@ from repro.core.runner import (
     geometric_mean_mpki,
     reduction,
 )
-from repro.core.results_io import load_results, result_from_dict, result_to_dict, save_results
+from repro.core.results_io import (
+    ResultCache,
+    cache_digest,
+    cache_key,
+    freeze_overrides,
+    load_results,
+    result_from_dict,
+    result_key,
+    result_to_dict,
+    save_results,
+)
 from repro.core.simulator import Predictor, SimulationResult, simulate
 
 __all__ = [
@@ -30,19 +40,24 @@ __all__ = [
     "LIMIT_STEPS",
     "LimitStep",
     "Predictor",
+    "ResultCache",
     "Runner",
     "RunnerConfig",
     "SimulationResult",
     "WorkloadBundle",
+    "cache_digest",
+    "cache_key",
     "comparison_table",
     "context_profile",
     "cumulative_overrides",
     "depth_sweep_relative",
     "duplication_by_depth",
+    "freeze_overrides",
     "geometric_mean_mpki",
     "load_results",
     "reduction",
     "result_from_dict",
+    "result_key",
     "result_to_dict",
     "run_limit_study",
     "save_results",

@@ -1,0 +1,82 @@
+"""Process-parallel execution of experiment matrices.
+
+Every figure the paper reports is a matrix of (workload x predictor
+configuration) simulations; this module fans the *uncached* cells of such
+a matrix out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Chunking is workload-major: one task per workload, carrying every
+configuration still to simulate for it, so each worker builds the
+expensive :class:`~repro.core.runner.WorkloadBundle` (trace generation,
+folded-history tensors, context streams) exactly once and releases it
+when the chunk finishes.
+
+Determinism: trace generation is a pure function of ``(workload spec,
+seed, length)`` -- the :class:`~repro.core.runner.RunnerConfig` (which
+carries any seed override) is pickled to every worker explicitly -- and
+the predictors draw no ambient randomness, so parallel results are
+bit-identical to the serial path.  ``tests/test_parallel.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.simulator import SimulationResult
+
+#: one unit of work inside a chunk: ``(config name, config overrides)``
+ChunkCell = Tuple[str, Mapping[str, object]]
+
+
+def simulate_chunk(
+    config: "RunnerConfig", workload: str, cells: Sequence[ChunkCell]
+) -> List[SimulationResult]:
+    """Worker entry point: simulate every cell of one workload.
+
+    Builds a private :class:`~repro.core.runner.Runner` (no disk cache --
+    the parent filters cached cells before dispatch and persists worker
+    results itself, so workers never race on cache files) and returns the
+    results in cell order.
+    """
+    from repro.core.runner import Runner
+
+    runner = Runner(config)
+    results = [runner.run_one(workload, name, **dict(overrides)) for name, overrides in cells]
+    runner.release(workload)
+    return results
+
+
+def run_chunks(
+    config: "RunnerConfig",
+    chunks: Mapping[str, Sequence[ChunkCell]],
+    jobs: int,
+) -> Iterator[Tuple[str, List[SimulationResult]]]:
+    """Fan workload chunks out over ``jobs`` processes.
+
+    Yields ``(workload, results)`` pairs as chunks complete (arbitrary
+    order -- the caller re-associates by workload), so progress reporting
+    works while later chunks are still running.  Worker exceptions
+    propagate to the caller at iteration time.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if not chunks:
+        return
+    max_workers = max(1, min(jobs, len(chunks)))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(simulate_chunk, config, workload, list(cells)): workload
+            for workload, cells in chunks.items()
+        }
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+
+def chunk_cells(
+    cells: Sequence[Tuple[str, str, Mapping[str, object]]]
+) -> Dict[str, List[ChunkCell]]:
+    """Group flat ``(workload, name, overrides)`` cells workload-major."""
+    chunks: Dict[str, List[ChunkCell]] = {}
+    for workload, name, overrides in cells:
+        chunks.setdefault(workload, []).append((name, overrides))
+    return chunks

@@ -4,17 +4,37 @@ Experiment campaigns are expensive; this module serialises
 :class:`~repro.core.simulator.SimulationResult` collections to JSON so
 analyses (or the EXPERIMENTS.md comparison) can be re-run without
 re-simulating.  Round-trips preserve every field.
+
+It also provides the persistent, content-addressed result cache the
+:class:`~repro.core.runner.Runner` consults before simulating.  Cache
+entries are keyed by a hash of everything a simulation's outcome depends
+on -- workload, configuration name, config overrides, the
+:class:`~repro.core.runner.RunnerConfig`, and the trace-generator
+version -- so overlapping experiments (the Table I baselines reappearing
+in Figs 4/12/13) and repeat invocations skip simulation entirely, while
+any change to run parameters or generator semantics misses naturally.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.simulator import SimulationResult
+from repro.traces.generator import GENERATOR_VERSION
 
 _FORMAT_VERSION = 1
+#: version of the on-disk cache-entry layout (not the key hash)
+CACHE_FORMAT_VERSION = 1
+
+#: structured identity of one simulation cell: ``(workload, config name,
+#: frozen overrides)``.  Shared by the Runner's in-memory memo and the
+#: disk cache's key hash, so the two can never disagree.
+ResultKey = Tuple[str, str, Tuple[Tuple[str, object], ...]]
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
@@ -61,3 +81,137 @@ def load_results(path: Union[str, Path]) -> List[SimulationResult]:
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported results format version {version!r}")
     return [result_from_dict(entry) for entry in payload["results"]]
+
+
+# -- cache keys ---------------------------------------------------------------
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert a value to a hashable, order-stable form."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_freeze(v) for v in value), key=repr))
+    return value
+
+
+def freeze_overrides(overrides: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
+    """Canonical hashable form of a config-override mapping."""
+    if not overrides:
+        return ()
+    return tuple(sorted((str(k), _freeze(v)) for k, v in overrides.items()))
+
+
+def result_key(
+    workload: str, name: str, overrides: Optional[Mapping[str, object]] = None
+) -> ResultKey:
+    """Structured identity of one simulation cell.
+
+    Replaces the old ``name + repr(sorted(overrides.items()))`` string
+    concatenation, which could collide (a config name embedding a
+    bracket, overrides whose repr happens to extend the name) and broke
+    on unhashable override values.
+    """
+    return (workload, name, freeze_overrides(overrides))
+
+
+def cache_key(
+    workload: str,
+    name: str,
+    overrides: Optional[Mapping[str, object]],
+    runner_config: object,
+    generator_version: int = GENERATOR_VERSION,
+) -> Dict[str, object]:
+    """Everything a simulation's outcome depends on, as a JSON-able dict."""
+    return {
+        "workload": workload,
+        "config": name,
+        "overrides": repr(freeze_overrides(overrides)),
+        "runner_config": {str(k): repr(v) for k, v in asdict(runner_config).items()},
+        "generator_version": generator_version,
+    }
+
+
+def cache_digest(key: Mapping[str, object]) -> str:
+    """Content hash of a :func:`cache_key` payload (the cache filename)."""
+    canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+# -- the persistent cache -----------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`SimulationResult` entries.
+
+    One JSON file per entry, named by the :func:`cache_digest` of its
+    key; each file also records the human-readable key for debugging.
+    Writes go through a per-process temp file and ``os.replace`` so
+    concurrent writers (a parallel ``run_matrix`` merging worker results,
+    or two CLI invocations sharing ``--cache-dir``) can never corrupt an
+    entry.  ``hits``/``misses``/``writes`` counters let callers (and
+    tests) verify that a warm cache performs zero simulations.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.cache_dir / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``digest``, or ``None`` on a miss."""
+        try:
+            payload = json.loads(self._path(digest).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(payload["result"])
+
+    def put(self, digest: str, key: Mapping[str, object], result: SimulationResult) -> None:
+        """Store ``result`` under ``digest`` (atomic, last writer wins)."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": dict(key),
+            "result": result_to_dict(result),
+        }
+        path = self._path(digest)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def invalidate(self, digest: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            self._path(digest).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:  # pragma: no cover - concurrent clear
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

@@ -20,8 +20,9 @@ paper observes this for Chirper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.results_io import ResultCache, ResultKey, cache_digest, cache_key, result_key
 from repro.core.simulator import SimulationResult, simulate
 from repro.llbp import LLBP, LLBPX, ContextStreams, llbp_default, llbpx_default
 from repro.tage import TageConfig, TageSCL, TraceTensors, preset_by_name, tsl_64k
@@ -52,13 +53,30 @@ class WorkloadBundle:
     contexts: ContextStreams
 
 
-class Runner:
-    """Builds predictors by name and memoises simulation results."""
+#: one cell of an experiment matrix: ``(workload, config name, overrides)``
+Cell = Tuple[str, str, Mapping[str, object]]
 
-    def __init__(self, config: Optional[RunnerConfig] = None) -> None:
+
+class Runner:
+    """Builds predictors by name and memoises simulation results.
+
+    ``cache`` optionally attaches a persistent
+    :class:`~repro.core.results_io.ResultCache`: results are then also
+    written to disk, and future runners (including other processes)
+    sharing the cache directory skip simulation entirely on a hit.
+    ``sim_count`` counts the simulations this runner actually performed
+    (directly or via workers), so tests can assert that a warm cache
+    performs zero.
+    """
+
+    def __init__(
+        self, config: Optional[RunnerConfig] = None, cache: Optional[ResultCache] = None
+    ) -> None:
         self.config = config or RunnerConfig()
+        self.cache = cache
+        self.sim_count = 0
         self._bundles: Dict[Tuple[str, int, Optional[int]], WorkloadBundle] = {}
-        self._results: Dict[Tuple[str, str], SimulationResult] = {}
+        self._results: Dict[ResultKey, SimulationResult] = {}
 
     # -- workload handling ------------------------------------------------------
 
@@ -72,10 +90,62 @@ class Runner:
             self._bundles[key] = WorkloadBundle(trace, tensors, ContextStreams(tensors))
         return self._bundles[key]
 
-    def release(self, workload: str) -> None:
-        """Drop the cached trace/tensors of a workload (bounds memory)."""
+    def release(self, workload: str, results: bool = False) -> None:
+        """Drop the cached trace/tensors of a workload (bounds memory).
+
+        With ``results`` the workload's memoised simulation results are
+        dropped too (disk-cache entries are kept).
+        """
         key = (workload, self.config.num_branches, self.config.seed)
         self._bundles.pop(key, None)
+        if results:
+            self._results = {k: v for k, v in self._results.items() if k[0] != workload}
+
+    def clear_cache(self, bundles: bool = False) -> int:
+        """Drop every memoised result (long sweeps grow ``_results`` unboundedly).
+
+        Returns the number of entries dropped.  With ``bundles`` the
+        per-workload precomputation is dropped too.  The persistent disk
+        cache, if any, is untouched -- use ``runner.cache.clear()`` for
+        that.
+        """
+        dropped = len(self._results)
+        self._results.clear()
+        if bundles:
+            self._bundles.clear()
+        return dropped
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _digest(self, workload: str, name: str, overrides: Mapping[str, object]) -> str:
+        return cache_digest(cache_key(workload, name, overrides, self.config))
+
+    def lookup_cached(
+        self, workload: str, name: str, overrides: Optional[Mapping[str, object]] = None
+    ) -> Optional[SimulationResult]:
+        """Memory-then-disk cache lookup; promotes disk hits to the memo."""
+        overrides = overrides or {}
+        key = result_key(workload, name, overrides)
+        if key in self._results:
+            return self._results[key]
+        if self.cache is not None:
+            hit = self.cache.get(self._digest(workload, name, overrides))
+            if hit is not None:
+                self._results[key] = hit
+                return hit
+        return None
+
+    def _admit(
+        self, workload: str, name: str, overrides: Mapping[str, object], result: SimulationResult
+    ) -> None:
+        """Record a freshly simulated result in the memo and disk cache."""
+        self._results[result_key(workload, name, overrides)] = result
+        if self.cache is not None:
+            self.cache.put(
+                self._digest(workload, name, overrides),
+                cache_key(workload, name, overrides, self.config),
+                result,
+            )
 
     # -- predictor construction ------------------------------------------------------
 
@@ -111,10 +181,17 @@ class Runner:
     # -- running ----------------------------------------------------------------------
 
     def run_one(self, workload: str, name: str, use_cache: bool = True, **overrides) -> SimulationResult:
-        """Simulate one (workload, configuration) pair, memoised."""
-        cache_key = (workload, name + repr(sorted(overrides.items())))
-        if use_cache and cache_key in self._results:
-            return self._results[cache_key]
+        """Simulate one (workload, configuration) pair, memoised.
+
+        The memo key is the structured :func:`~repro.core.results_io.result_key`
+        shared with the disk cache's content hash, so the two layers can
+        never disagree (and name/override concatenation collisions are
+        impossible).
+        """
+        if use_cache:
+            cached = self.lookup_cached(workload, name, overrides)
+            if cached is not None:
+                return cached
         bundle = self.bundle(workload)
         if name == "llbpx_optw":
             result = self._run_optw(workload, bundle, **overrides)
@@ -124,8 +201,9 @@ class Runner:
                 predictor, bundle.trace, bundle.tensors, warmup_fraction=self.config.warmup_fraction
             )
             result.predictor = name
+        self.sim_count += 1
         if use_cache:
-            self._results[cache_key] = result
+            self._admit(workload, name, overrides, result)
         return result
 
     def _run_optw(self, workload: str, bundle: WorkloadBundle, **overrides) -> SimulationResult:
@@ -148,30 +226,82 @@ class Runner:
         best.predictor = "llbpx_optw"
         return best
 
+    def run_cells(
+        self,
+        cells: Sequence[Cell],
+        jobs: int = 1,
+        release_bundles: bool = True,
+        progress: Optional[Callable[[str, str, SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
+        """Run arbitrary ``(workload, name, overrides)`` cells, cached.
+
+        Cached cells (memory or disk) are resolved up front; only the
+        remainder is simulated -- serially for ``jobs <= 1``, otherwise
+        fanned workload-major over a process pool (see
+        :mod:`repro.core.parallel`).  Results come back in cell order and
+        are bit-identical either way.  ``progress`` fires once per cell
+        as it completes (completion order under parallelism).
+        """
+        cells = [(workload, name, dict(overrides or {})) for workload, name, overrides in cells]
+        out: Dict[int, SimulationResult] = {}
+        pending: Dict[str, List[Tuple[int, str, Dict[str, object]]]] = {}
+        for index, (workload, name, overrides) in enumerate(cells):
+            cached = self.lookup_cached(workload, name, overrides)
+            if cached is not None:
+                out[index] = cached
+                if progress is not None:
+                    progress(workload, name, cached)
+            else:
+                pending.setdefault(workload, []).append((index, name, overrides))
+
+        if jobs > 1 and len(pending) > 1:
+            from repro.core.parallel import run_chunks
+
+            chunks = {
+                workload: [(name, overrides) for _, name, overrides in items]
+                for workload, items in pending.items()
+            }
+            for workload, results in run_chunks(self.config, chunks, jobs):
+                for (index, name, overrides), result in zip(pending[workload], results):
+                    self._admit(workload, name, overrides, result)
+                    self.sim_count += 1
+                    out[index] = result
+                    if progress is not None:
+                        progress(workload, name, result)
+        else:
+            for workload, items in pending.items():
+                for index, name, overrides in items:
+                    result = self.run_one(workload, name, **overrides)
+                    out[index] = result
+                    if progress is not None:
+                        progress(workload, name, result)
+                if release_bundles:
+                    self.release(workload)
+        return [out[index] for index in range(len(cells))]
+
     def run_matrix(
         self,
         workloads: Sequence[str],
         names: Sequence[str],
         release_bundles: bool = True,
         progress: Optional[Callable[[str, str, SimulationResult], None]] = None,
+        jobs: int = 1,
     ) -> Dict[str, Dict[str, SimulationResult]]:
         """Run every configuration on every workload (workload-major).
 
         Returns ``{workload: {config: result}}``.  With
         ``release_bundles`` the per-workload precomputation is dropped as
         soon as all its configurations finished, bounding memory.
+        ``jobs > 1`` distributes uncached workloads over a process pool;
+        results are bit-identical to the serial path.
         """
-        table: Dict[str, Dict[str, SimulationResult]] = {}
-        for workload in workloads:
-            row: Dict[str, SimulationResult] = {}
-            for name in names:
-                result = self.run_one(workload, name)
-                row[name] = result
-                if progress is not None:
-                    progress(workload, name, result)
-            table[workload] = row
-            if release_bundles:
-                self.release(workload)
+        cells: List[Cell] = [(workload, name, {}) for workload in workloads for name in names]
+        results = self.run_cells(
+            cells, jobs=jobs, release_bundles=release_bundles, progress=progress
+        )
+        table: Dict[str, Dict[str, SimulationResult]] = {workload: {} for workload in workloads}
+        for (workload, name, _), result in zip(cells, results):
+            table[workload][name] = result
         return table
 
 

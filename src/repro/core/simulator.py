@@ -16,7 +16,7 @@ from typing import Dict, Optional, Protocol
 
 from repro.common.stats import mpki
 from repro.tage.streams import TraceTensors
-from repro.traces.record import BranchKind, Trace
+from repro.traces.record import Trace
 
 
 class Predictor(Protocol):
@@ -78,9 +78,7 @@ def simulate(
     if tensors is None:
         tensors = TraceTensors(trace)
 
-    cond_kind = int(BranchKind.COND)
     pcs = trace.pcs
-    kinds = trace.kinds
     takens = trace.taken
     targets = trace.targets
     n = len(pcs)
@@ -94,21 +92,31 @@ def simulate(
     warmup_mispredictions = 0
     cond_measured = 0
 
-    for t in range(n):
-        if kinds[t] == cond_kind:
+    # Iterate precomputed same-kind runs instead of testing the kind per
+    # record, and split conditional runs at the warmup boundary so the
+    # measurement-window test also leaves the inner loop.  Identical
+    # counting to the per-record loop (tests/test_simulator_runs.py).
+    for start, end, is_cond in tensors.kind_runs():
+        if not is_cond:
+            for t in range(start, end):
+                on_unconditional(t, pcs[t], targets[t])
+            continue
+        split = min(max(start, warmup_end), end)
+        for t in range(start, split):
             pc = pcs[t]
             taken = takens[t]
             prediction = predict(t, pc)
             if prediction.pred != taken:
-                if t >= warmup_end:
-                    mispredictions += 1
-                else:
-                    warmup_mispredictions += 1
-            if t >= warmup_end:
-                cond_measured += 1
+                warmup_mispredictions += 1
             update(t, pc, taken, prediction)
-        else:
-            on_unconditional(t, pcs[t], targets[t])
+        for t in range(split, end):
+            pc = pcs[t]
+            taken = takens[t]
+            prediction = predict(t, pc)
+            if prediction.pred != taken:
+                mispredictions += 1
+            update(t, pc, taken, prediction)
+        cond_measured += end - split
 
     instr = tensors.instr_index
     total_instr = int(instr[-1]) if n else 0

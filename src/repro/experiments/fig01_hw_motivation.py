@@ -30,7 +30,12 @@ class Fig1Row:
     branch_stall_share: float
 
 
-def _run_machine(machine: MachineConfig, base_runner_config: RunnerConfig, workloads: Sequence[str]) -> List[Fig1Row]:
+def _run_machine(
+    machine: MachineConfig,
+    base_runner_config: RunnerConfig,
+    workloads: Sequence[str],
+    jobs: int = 1,
+) -> List[Fig1Row]:
     runner = Runner(
         RunnerConfig(
             scale=machine.predictor_scale,
@@ -38,6 +43,8 @@ def _run_machine(machine: MachineConfig, base_runner_config: RunnerConfig, workl
             warmup_fraction=base_runner_config.warmup_fraction,
         )
     )
+    if jobs > 1:
+        runner.run_cells([(w, "tsl_64k", {}) for w in workloads], jobs=jobs)
     rows = []
     for workload in workloads:
         result = runner.run_one(workload, "tsl_64k")
@@ -56,13 +63,15 @@ def _run_machine(machine: MachineConfig, base_runner_config: RunnerConfig, workl
 
 
 def run_fig01(
-    runner: Optional[Runner] = None, workloads: Optional[Sequence[str]] = None
+    runner: Optional[Runner] = None,
+    workloads: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[Fig1Row]:
     base_config = runner.config if runner is not None else RunnerConfig()
     names = list(workloads) if workloads is not None else list(FIG1_WORKLOADS)
     rows: List[Fig1Row] = []
     for machine in (skylake_like(), sapphire_rapids_like()):
-        rows.extend(_run_machine(machine, base_config, names))
+        rows.extend(_run_machine(machine, base_config, names, jobs=jobs))
     return rows
 
 

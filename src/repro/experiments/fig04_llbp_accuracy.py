@@ -29,8 +29,13 @@ def run_fig04(
     runner: Runner,
     workloads: Optional[Sequence[str]] = None,
     configs: Sequence[str] = FIG4_CONFIGS,
+    jobs: int = 1,
 ) -> List[Fig4Row]:
     names = list(workloads) if workloads is not None else default_workloads("all")
+    if jobs > 1:
+        runner.run_cells(
+            [(w, c, {}) for w in names for c in ("tsl_64k", *configs)], jobs=jobs
+        )
     rows: List[Fig4Row] = []
     for workload in names:
         base = runner.run_one(workload, "tsl_64k")

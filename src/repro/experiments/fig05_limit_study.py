@@ -21,9 +21,11 @@ PAPER_STEP_REDUCTIONS = {
 }
 
 
-def run_fig05(runner: Runner, workloads: Optional[Sequence[str]] = None) -> List[LimitStep]:
+def run_fig05(
+    runner: Runner, workloads: Optional[Sequence[str]] = None, jobs: int = 1
+) -> List[LimitStep]:
     names = list(workloads) if workloads is not None else default_workloads("subset")
-    return run_limit_study(runner, names)
+    return run_limit_study(runner, names, jobs=jobs)
 
 
 def format_fig05(steps: Sequence[LimitStep]) -> str:

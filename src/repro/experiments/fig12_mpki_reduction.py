@@ -38,8 +38,13 @@ def run_fig12(
     runner: Runner,
     workloads: Optional[Sequence[str]] = None,
     configs: Sequence[str] = FIG12_CONFIGS,
+    jobs: int = 1,
 ) -> List[Fig12Row]:
     names = list(workloads) if workloads is not None else default_workloads("all")
+    if jobs > 1:
+        runner.run_cells(
+            [(w, c, {}) for w in names for c in ("tsl_64k", *configs)], jobs=jobs
+        )
     rows: List[Fig12Row] = []
     for workload in names:
         base = runner.run_one(workload, "tsl_64k")

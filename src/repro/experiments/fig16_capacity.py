@@ -39,8 +39,17 @@ def run_fig16a(
     runner: Runner,
     workloads: Optional[Sequence[str]] = None,
     context_counts: Sequence[int] = FIG16A_CONTEXTS,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     names = list(workloads) if workloads is not None else default_workloads("subset")
+    if jobs > 1:
+        cells = [(w, "tsl_64k", {}) for w in names]
+        cells += [
+            (w, "llbpx_0lat", {"num_contexts": contexts, "store_assoc": 64})
+            for contexts in context_counts
+            for w in names
+        ]
+        runner.run_cells(cells, jobs=jobs)
     points = []
     for contexts in context_counts:
         reductions = []
@@ -65,9 +74,19 @@ def run_fig16b(
     runner: Runner,
     workloads: Optional[Sequence[str]] = None,
     presets: Sequence[str] = FIG16B_PRESETS,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
-    """Each point: LLBP-X over a smaller TSL, relative to that same TSL."""
+    """Each point: LLBP-X over a smaller TSL, relative to that same TSL.
+
+    Only the TSL baselines prewarm in parallel -- the LLBP-X-over-small-TSL
+    runs are built directly on the bundle (no config name), so they stay
+    in-process.
+    """
     names = list(workloads) if workloads is not None else default_workloads("subset")
+    if jobs > 1:
+        runner.run_cells(
+            [(w, preset, {}) for preset in presets for w in names], jobs=jobs
+        )
     points = []
     for preset in presets:
         reductions = []

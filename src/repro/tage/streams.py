@@ -122,6 +122,7 @@ class TraceTensors:
         gaps = np.asarray(trace.inst_gaps, dtype=np.int64)
         self.instr_index = np.cumsum(gaps + 1)
         self._folds: Dict[Tuple[int, int], np.ndarray] = {}
+        self._kind_runs: List[Tuple[int, int, bool]] = []
 
     def fold(self, length: int, width: int) -> np.ndarray:
         key = (length, width)
@@ -132,6 +133,23 @@ class TraceTensors:
     def release_folds(self) -> None:
         """Free fold memory (runner calls this between workloads)."""
         self._folds.clear()
+
+    def kind_runs(self) -> List[Tuple[int, int, bool]]:
+        """Maximal runs of same-kind records: ``[(start, end, is_cond), ...]``.
+
+        The simulation loop iterates these instead of testing
+        ``kinds[t] == COND`` per record; conditional/unconditional
+        alternation is sparse relative to trace length, so the per-branch
+        kind check (and its list indexing) amortises to ~nothing.
+        """
+        if not self._kind_runs and self.num_records:
+            cond = self.kinds == np.int8(int(BranchKind.COND))
+            boundaries = np.flatnonzero(np.diff(cond.view(np.int8))) + 1
+            edges = [0, *boundaries.tolist(), self.num_records]
+            self._kind_runs = [
+                (edges[i], edges[i + 1], bool(cond[edges[i]])) for i in range(len(edges) - 1)
+            ]
+        return self._kind_runs
 
 
 def _as_arrays(matrix: np.ndarray) -> List[array]:

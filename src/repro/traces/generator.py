@@ -26,6 +26,13 @@ from repro.traces.record import BranchKind, Trace
 _COND_HISTORY_BITS = 256
 _COND_HISTORY_MASK = (1 << _COND_HISTORY_BITS) - 1
 
+#: Version of the trace-generation semantics.  Persistent result caches
+#: embed this in their content hash, so bumping it (whenever generator or
+#: behaviour-model changes alter traces -- the golden hashes in
+#: tests/test_reproducibility.py will catch it) invalidates every cached
+#: simulation without any manual cleanup.
+GENERATOR_VERSION = 1
+
 
 class TraceGenerator:
     """Executes a program until the requested number of branches is emitted."""

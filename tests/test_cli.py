@@ -42,6 +42,17 @@ class TestParser:
         )
         assert args.branches == 500 and args.scale == 4
 
+    def test_parallelism_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "kafka", "--config", "llbp",
+             "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4 and args.cache_dir == "/tmp/c" and args.no_cache
+
+    def test_parallelism_defaults(self):
+        args = build_parser().parse_args(["report", "fig12"])
+        assert args.jobs == 1 and args.cache_dir is None and not args.no_cache
+
 
 class TestExecution:
     def test_list_exits_zero(self, capsys):
@@ -66,6 +77,30 @@ class TestExecution:
         code = main(["report", "table1", "--workloads", "kafka", "--branches", "8000"])
         assert code == 0
         assert "kafka" in capsys.readouterr().out
+
+    def test_run_parallel_matches_serial_output(self, capsys):
+        argv = ["run", "--workload", "kafka", "--workload", "nodeapp",
+                "--config", "tsl_64k", "--config", "llbp", "--branches", "5000"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_run_with_cache_dir_reuses_results(self, capsys, tmp_path):
+        argv = ["run", "--workload", "kafka", "--config", "tsl_64k",
+                "--branches", "5000", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "1 hits, 0 misses" in second.err
+
+    def test_run_no_cache_skips_cache(self, capsys, tmp_path):
+        argv = ["run", "--workload", "kafka", "--config", "tsl_64k", "--branches",
+                "5000", "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        assert list(tmp_path.glob("*.json")) == []
 
 
 class TestConstants:

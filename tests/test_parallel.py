@@ -1,0 +1,103 @@
+"""Tests for the process-parallel experiment execution layer.
+
+The load-bearing guarantee: ``run_matrix(jobs=N)`` is *bit-identical* to
+the serial path -- every field of every ``SimulationResult``, including
+predictor stats and extra metrics -- because trace generation and the
+predictors are deterministic functions of the pickled ``RunnerConfig``.
+"""
+
+import pytest
+
+from repro.core import Runner, RunnerConfig
+from repro.core.parallel import chunk_cells, run_chunks, simulate_chunk
+
+WORKLOADS = ("kafka", "nodeapp")
+CONFIGS = ("tsl_16k", "tsl_64k", "llbp")
+
+SMALL = RunnerConfig(scale=4, num_branches=4000)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    runner = Runner(SMALL)
+    return runner.run_matrix(WORKLOADS, CONFIGS)
+
+
+class TestParallelEqualsSerial:
+    def test_two_jobs_bit_identical(self, serial_matrix):
+        runner = Runner(SMALL)
+        parallel = runner.run_matrix(WORKLOADS, CONFIGS, jobs=2)
+        assert parallel == serial_matrix  # full dataclass equality: counts, stats, extra
+
+    def test_more_jobs_than_workloads(self, serial_matrix):
+        runner = Runner(SMALL)
+        parallel = runner.run_matrix(WORKLOADS, CONFIGS, jobs=8)
+        assert parallel == serial_matrix
+
+    def test_jobs_one_uses_serial_path(self, serial_matrix):
+        runner = Runner(SMALL)
+        assert runner.run_matrix(WORKLOADS, CONFIGS, jobs=1) == serial_matrix
+
+    def test_parallel_results_are_memoised(self):
+        runner = Runner(SMALL)
+        runner.run_matrix(WORKLOADS, CONFIGS, jobs=2)
+        first_sims = runner.sim_count
+        runner.run_matrix(WORKLOADS, CONFIGS, jobs=2)
+        assert runner.sim_count == first_sims  # second call is pure memo hits
+
+
+class TestRunCells:
+    def test_cells_with_overrides_match_run_one(self):
+        cells = [
+            ("kafka", "llbp", {"num_contexts": 1024}),
+            ("nodeapp", "tsl_16k", {}),
+            ("kafka", "tsl_16k", {}),
+        ]
+        serial = Runner(SMALL)
+        expected = [serial.run_one(w, n, **o) for w, n, o in cells]
+        parallel = Runner(SMALL)
+        assert parallel.run_cells(cells, jobs=2) == expected
+
+    def test_results_in_cell_order(self):
+        cells = [(w, c, {}) for c in CONFIGS for w in WORKLOADS]  # config-major input
+        runner = Runner(SMALL)
+        results = runner.run_cells(cells, jobs=2)
+        for (workload, name, _), result in zip(cells, results):
+            assert result.workload == workload
+            assert result.predictor == name
+
+    def test_progress_fires_once_per_cell(self):
+        runner = Runner(SMALL)
+        seen = []
+        runner.run_matrix(
+            WORKLOADS, CONFIGS, jobs=2, progress=lambda w, c, r: seen.append((w, c))
+        )
+        assert sorted(seen) == sorted((w, c) for w in WORKLOADS for c in CONFIGS)
+
+    def test_progress_fires_for_cached_cells(self):
+        runner = Runner(SMALL)
+        runner.run_matrix(WORKLOADS, CONFIGS, jobs=2)
+        seen = []
+        runner.run_matrix(
+            WORKLOADS, CONFIGS, jobs=2, progress=lambda w, c, r: seen.append((w, c))
+        )
+        assert len(seen) == len(WORKLOADS) * len(CONFIGS)
+
+
+class TestChunking:
+    def test_chunk_cells_is_workload_major(self):
+        cells = [("a", "x", {}), ("b", "x", {}), ("a", "y", {"k": 1})]
+        chunks = chunk_cells(cells)
+        assert chunks == {"a": [("x", {}), ("y", {"k": 1})], "b": [("x", {})]}
+
+    def test_simulate_chunk_matches_runner(self):
+        expected = Runner(SMALL).run_one("kafka", "tsl_16k")
+        results = simulate_chunk(SMALL, "kafka", [("tsl_16k", {})])
+        assert results == [expected]
+
+    def test_run_chunks_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            list(run_chunks(SMALL, {"kafka": [("tsl_16k", {})]}, jobs=0))
+
+    def test_run_chunks_empty_is_noop(self):
+        assert list(run_chunks(SMALL, {}, jobs=2)) == []

@@ -1,0 +1,179 @@
+"""Tests for the structured cache keys and the persistent result cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ResultCache, Runner, RunnerConfig, cache_digest, cache_key, result_key
+from repro.core.results_io import freeze_overrides
+from repro.core.simulator import SimulationResult
+
+SMALL = RunnerConfig(scale=4, num_branches=3000)
+
+
+def sample_result(workload="kafka", predictor="tsl_16k"):
+    return SimulationResult(
+        workload=workload,
+        predictor=predictor,
+        instructions=90_000,
+        conditional_branches=15_000,
+        mispredictions=450,
+        warmup_mispredictions=210,
+        total_instructions=120_000,
+        stats={"predictions": 15_000},
+        extra={"store_reads": 800.0},
+    )
+
+
+class TestResultKey:
+    def test_structured_fields(self):
+        assert result_key("kafka", "llbp", {"b": 2, "a": 1}) == (
+            "kafka",
+            "llbp",
+            (("a", 1), ("b", 2)),
+        )
+
+    def test_no_name_override_concatenation_collisions(self):
+        # the old string key was name + repr(sorted(overrides.items())):
+        # these two cells collided under it
+        a = result_key("w", "llbp", {})
+        b = result_key("w", "llbp[]", {})
+        assert a != b
+
+    def test_overrides_distinguish(self):
+        assert result_key("w", "llbp", {"x": 1}) != result_key("w", "llbp", {"x": 2})
+        assert result_key("w", "llbp", {}) != result_key("w", "llbp", {"x": 1})
+
+    def test_key_is_hashable_with_nested_overrides(self):
+        key = result_key("w", "llbpx", {"oracle_depths": {3: True, 1: False}, "ls": [1, 2]})
+        assert hash(key)  # dicts/lists frozen to tuples
+
+    def test_freeze_is_order_insensitive(self):
+        assert freeze_overrides({"a": 1, "b": {"y": 2, "x": 1}}) == freeze_overrides(
+            {"b": {"x": 1, "y": 2}, "a": 1}
+        )
+
+
+class TestCacheDigest:
+    def test_stable_for_equal_keys(self):
+        k1 = cache_key("kafka", "llbp", {"a": 1}, SMALL)
+        k2 = cache_key("kafka", "llbp", {"a": 1}, SMALL)
+        assert cache_digest(k1) == cache_digest(k2)
+
+    def test_runner_config_changes_digest(self):
+        base = cache_digest(cache_key("kafka", "llbp", {}, SMALL))
+        for changed in (
+            dataclasses.replace(SMALL, num_branches=4000),
+            dataclasses.replace(SMALL, scale=8),
+            dataclasses.replace(SMALL, warmup_fraction=0.5),
+            dataclasses.replace(SMALL, seed=7),
+        ):
+            assert cache_digest(cache_key("kafka", "llbp", {}, changed)) != base
+
+    def test_generator_version_invalidates(self):
+        old = cache_digest(cache_key("kafka", "llbp", {}, SMALL, generator_version=1))
+        new = cache_digest(cache_key("kafka", "llbp", {}, SMALL, generator_version=2))
+        assert old != new
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"k": "v"}, sample_result())
+        assert cache.get("deadbeef") == sample_result()
+        assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa", {}, sample_result())
+        assert cache.invalidate("aa") is True
+        assert cache.invalidate("aa") is False
+        assert cache.get("aa") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa", {}, sample_result())
+        cache.put("bb", {}, sample_result("nodeapp"))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text("{ not json")
+        assert cache.get("abcd") is None
+
+    def test_unknown_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text('{"version": 99}')
+        assert cache.get("abcd") is None
+
+
+class TestRunnerCacheIntegration:
+    def test_warm_cache_performs_zero_simulations(self, tmp_path):
+        cold = Runner(SMALL, cache=ResultCache(tmp_path))
+        expected = cold.run_matrix(["kafka"], ["tsl_16k", "llbp"])
+        assert cold.sim_count == 2
+
+        warm = Runner(SMALL, cache=ResultCache(tmp_path))
+        got = warm.run_matrix(["kafka"], ["tsl_16k", "llbp"])
+        assert warm.sim_count == 0
+        assert warm.cache.hits == 2
+        assert got == expected
+
+    def test_warm_cache_covers_overrides(self, tmp_path):
+        cold = Runner(SMALL, cache=ResultCache(tmp_path))
+        expected = cold.run_one("kafka", "llbp", num_contexts=1024)
+        warm = Runner(SMALL, cache=ResultCache(tmp_path))
+        assert warm.run_one("kafka", "llbp", num_contexts=1024) == expected
+        assert warm.sim_count == 0
+
+    def test_different_run_parameters_miss(self, tmp_path):
+        Runner(SMALL, cache=ResultCache(tmp_path)).run_one("kafka", "tsl_16k")
+        other = Runner(
+            dataclasses.replace(SMALL, num_branches=4000), cache=ResultCache(tmp_path)
+        )
+        other.run_one("kafka", "tsl_16k")
+        assert other.sim_count == 1  # not served by the 3000-branch entry
+
+    def test_use_cache_false_bypasses_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(SMALL, cache=cache)
+        runner.run_one("kafka", "tsl_16k", use_cache=False)
+        assert len(cache) == 0 and runner.sim_count == 1
+
+    def test_parallel_results_are_persisted_by_parent(self, tmp_path):
+        cold = Runner(SMALL, cache=ResultCache(tmp_path))
+        cold.run_matrix(["kafka", "nodeapp"], ["tsl_16k"], jobs=2)
+        warm = Runner(SMALL, cache=ResultCache(tmp_path))
+        warm.run_matrix(["kafka", "nodeapp"], ["tsl_16k"], jobs=2)
+        assert warm.sim_count == 0
+
+
+class TestRunnerMemoryManagement:
+    def test_clear_cache_drops_results(self):
+        runner = Runner(SMALL)
+        runner.run_one("kafka", "tsl_16k")
+        runner.run_one("kafka", "tsl_16k", num_contexts=512)
+        assert runner.clear_cache() == 2
+        assert runner._results == {}
+
+    def test_clear_cache_can_drop_bundles(self):
+        runner = Runner(SMALL)
+        runner.run_one("kafka", "tsl_16k")
+        runner.clear_cache(bundles=True)
+        assert runner._bundles == {}
+
+    def test_release_with_results_drops_only_that_workload(self):
+        runner = Runner(SMALL)
+        runner.run_one("kafka", "tsl_16k")
+        runner.run_one("nodeapp", "tsl_16k")
+        runner.release("kafka", results=True)
+        assert [k[0] for k in runner._results] == ["nodeapp"]
+
+    def test_release_keeps_results_by_default(self):
+        runner = Runner(SMALL)
+        runner.run_one("kafka", "tsl_16k")
+        runner.release("kafka")
+        assert len(runner._results) == 1

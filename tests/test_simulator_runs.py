@@ -1,0 +1,125 @@
+"""Equivalence tests for the run-based simulation loop.
+
+``simulate`` iterates precomputed same-kind record runs (split at the
+warmup boundary) instead of testing ``kinds[t] == COND`` and
+``t >= warmup_end`` per record.  These tests pin that the optimisation
+changes nothing: a straight per-record reference loop produces the exact
+same ``SimulationResult`` for both a TAGE-SC-L and an LLBP predictor.
+"""
+
+import numpy as np
+
+from repro.core import Runner, RunnerConfig
+from repro.core.simulator import SimulationResult, simulate
+from repro.tage.streams import TraceTensors
+from repro.traces import generate_workload
+from repro.traces.record import BranchKind
+
+SMALL = RunnerConfig(scale=4, num_branches=3000)
+
+
+def reference_simulate(predictor, trace, tensors, warmup_fraction=0.25) -> SimulationResult:
+    """The original per-record loop, kept verbatim as the oracle."""
+    cond_kind = int(BranchKind.COND)
+    pcs, kinds, takens, targets = trace.pcs, trace.kinds, trace.taken, trace.targets
+    n = len(pcs)
+    warmup_end = int(n * warmup_fraction)
+    mispredictions = warmup_mispredictions = cond_measured = 0
+    for t in range(n):
+        if kinds[t] == cond_kind:
+            pc, taken = pcs[t], takens[t]
+            prediction = predictor.predict(t, pc)
+            if prediction.pred != taken:
+                if t >= warmup_end:
+                    mispredictions += 1
+                else:
+                    warmup_mispredictions += 1
+            if t >= warmup_end:
+                cond_measured += 1
+            predictor.update(t, pc, taken, prediction)
+        else:
+            predictor.on_unconditional(t, pcs[t], targets[t])
+    instr = tensors.instr_index
+    total_instr = int(instr[-1]) if n else 0
+    warmup_instr = int(instr[warmup_end - 1]) if warmup_end > 0 else 0
+    result = SimulationResult(
+        workload=trace.name,
+        predictor=predictor.name,
+        instructions=total_instr - warmup_instr,
+        conditional_branches=cond_measured,
+        mispredictions=mispredictions,
+        warmup_mispredictions=warmup_mispredictions,
+        total_instructions=total_instr,
+    )
+    stats = getattr(predictor, "stats", None)
+    if stats is not None:
+        result.stats = stats.as_dict()
+    collect_extra = getattr(predictor, "collect_extra", None)
+    if collect_extra is not None:
+        result.extra = collect_extra()
+    return result
+
+
+class TestKindRuns:
+    def test_runs_partition_the_trace(self):
+        trace = generate_workload("kafka", num_branches=3000, use_cache=False)
+        tensors = TraceTensors(trace)
+        runs = tensors.kind_runs()
+        assert runs[0][0] == 0 and runs[-1][1] == len(trace)
+        for (_, prev_end, prev_cond), (start, _, cond) in zip(runs, runs[1:]):
+            assert start == prev_end
+            assert cond != prev_cond  # runs are maximal
+        cond_kind = int(BranchKind.COND)
+        for start, end, is_cond in runs:
+            assert all((trace.kinds[t] == cond_kind) == is_cond for t in range(start, end))
+
+    def test_runs_cached(self):
+        trace = generate_workload("kafka", num_branches=1000, use_cache=False)
+        tensors = TraceTensors(trace)
+        assert tensors.kind_runs() is tensors.kind_runs()
+
+    def test_empty_trace(self):
+        trace = generate_workload("kafka", num_branches=1000, use_cache=False)
+        tensors = TraceTensors(trace)
+        tensors.num_records = 0
+        assert tensors.kind_runs() == []
+
+
+class TestLoopEquivalence:
+    def _equivalence(self, config_name, warmup_fraction=0.25, **overrides):
+        runner = Runner(SMALL)
+        bundle = runner.bundle("kafka")
+        fast = simulate(
+            runner.build_predictor(config_name, bundle, **overrides),
+            bundle.trace,
+            bundle.tensors,
+            warmup_fraction=warmup_fraction,
+        )
+        reference = reference_simulate(
+            runner.build_predictor(config_name, bundle, **overrides),
+            bundle.trace,
+            bundle.tensors,
+            warmup_fraction=warmup_fraction,
+        )
+        assert fast == reference
+
+    def test_tage_equivalent(self):
+        self._equivalence("tsl_16k")
+
+    def test_llbp_equivalent(self):
+        self._equivalence("llbp")
+
+    def test_llbpx_equivalent(self):
+        self._equivalence("llbpx")
+
+    def test_zero_warmup(self):
+        self._equivalence("tsl_16k", warmup_fraction=0.0)
+
+    def test_large_warmup(self):
+        self._equivalence("tsl_16k", warmup_fraction=0.9)
+
+    def test_warmup_boundary_alignment(self):
+        # sweep warmup fractions so the boundary lands inside conditional
+        # and unconditional runs alike
+        for fraction in (0.1, 0.33, 0.5, 0.66):
+            self._equivalence("tsl_16k", warmup_fraction=fraction)
