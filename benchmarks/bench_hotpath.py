@@ -1,0 +1,138 @@
+"""Hot-path benchmark: fused ``step`` kernel vs the two-call loop.
+
+Measures the per-branch simulation loop in isolation (single process, one
+predictor instance per timing run) rather than the experiment layer that
+``bench_throughput.py`` covers.  For each configuration it times
+``simulate(..., use_step=False)`` (the ``predict``/``update`` path) and
+``simulate(..., use_step=True)`` (the fused kernel), asserts the two
+produce identical misprediction counts, and reports branches/second plus
+the fused/unfused speedup.
+
+``--floor N`` turns the benchmark into a regression gate: the run exits
+non-zero if any configuration's *fused* rate drops below N branches/sec.
+CI uses this on a short trace with a deliberately conservative floor, so
+only order-of-magnitude regressions (an accidentally de-specialised
+kernel, a resurrected per-branch allocation) trip it on shared runners.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --workload nodeapp --branches 40000 --configs tsl_64k,llbp,llbpx \
+        --floor 25000 --json BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core import Runner, RunnerConfig
+from repro.core.simulator import simulate
+
+DEFAULT_CONFIGS = "tsl_64k,llbp,llbpx"
+
+
+def bench_config(runner: Runner, workload: str, name: str) -> dict:
+    """Time both loop kernels for one configuration; assert equivalence.
+
+    Each timing run gets a freshly constructed predictor (the loop trains
+    state in place), but the trace tensors -- the expensive precomputation
+    -- are shared through the runner's workload bundle.
+    """
+    bundle = runner.bundle(workload)
+    branches = len(bundle.trace)
+    rates = {}
+    mispredictions = {}
+    for use_step, key in ((False, "unfused"), (True, "fused")):
+        predictor = runner.build_predictor(name, bundle)
+        start = time.perf_counter()
+        result = simulate(predictor, bundle.trace, bundle.tensors, use_step=use_step)
+        seconds = time.perf_counter() - start
+        rates[key] = branches / seconds
+        mispredictions[key] = result.mispredictions + result.warmup_mispredictions
+    assert mispredictions["fused"] == mispredictions["unfused"], (
+        f"{name}: fused kernel diverged "
+        f"({mispredictions['fused']} vs {mispredictions['unfused']} mispredictions)"
+    )
+    return {
+        "config": name,
+        "branches": branches,
+        "unfused_branches_per_second": round(rates["unfused"]),
+        "fused_branches_per_second": round(rates["fused"]),
+        "speedup": round(rates["fused"] / rates["unfused"], 3),
+        "mispredictions": mispredictions["fused"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--workload", default="nodeapp", help="workload profile to simulate")
+    parser.add_argument("--configs", default=DEFAULT_CONFIGS, help="comma-separated")
+    parser.add_argument("--branches", type=int, default=100_000, help="trace length")
+    parser.add_argument("--scale", type=int, default=8, help="capacity scale")
+    parser.add_argument(
+        "--floor", type=int, default=None, metavar="BR_PER_SEC",
+        help="fail (exit 1) if any config's fused rate is below this",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    runner = Runner(RunnerConfig(scale=args.scale, num_branches=args.branches))
+
+    print(
+        f"hot path: {args.workload}, {args.branches} branches, "
+        f"configs {', '.join(configs)}, cpu_count={os.cpu_count()}"
+    )
+    rows = []
+    for name in configs:
+        row = bench_config(runner, args.workload, name)
+        rows.append(row)
+        print(
+            f"{name:>10s}: unfused {row['unfused_branches_per_second']:>8d} br/s  "
+            f"fused {row['fused_branches_per_second']:>8d} br/s  "
+            f"x{row['speedup']:.2f}  ({row['mispredictions']} mispredictions, identical)"
+        )
+
+    payload = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "benchmark": {
+            "workload": args.workload,
+            "branches": args.branches,
+            "scale": args.scale,
+            "configs": configs,
+        },
+        "results": rows,
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.floor is not None:
+        slow = [r for r in rows if r["fused_branches_per_second"] < args.floor]
+        if slow:
+            for row in slow:
+                print(
+                    f"FAIL: {row['config']} fused rate "
+                    f"{row['fused_branches_per_second']} br/s below floor {args.floor}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"floor check passed (all configs >= {args.floor} br/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,9 @@ Examples::
 ``--jobs N`` fans uncached simulations out over N worker processes
 (bit-identical results); ``--cache-dir`` persists every result so repeat
 invocations -- and other figures sharing cells -- skip simulation.
+``--profile`` wraps the whole command in :mod:`cProfile` and prints the
+top functions by cumulative time to stderr (``--profile-top`` controls
+how many) -- the standard first step when chasing a hot-path regression.
 """
 
 from __future__ import annotations
@@ -186,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="ignore --cache-dir (force re-simulation, do not read or write cached results)",
     )
+    common.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions (by cumulative time) to stderr",
+    )
+    common.add_argument(
+        "--profile-top", type=int, default=25, metavar="N",
+        help="number of functions the --profile report shows (default: 25)",
+    )
 
     p_list = sub.add_parser("list", help="show workloads, configs, reports")
     p_list.set_defaults(func=cmd_list)
@@ -209,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        status = profiler.runcall(args.func, args)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        return status
     return args.func(args)
 
 

@@ -7,6 +7,14 @@ The loop itself is predictor-agnostic -- anything exposing
 prediction)`` and ``on_unconditional(t, pc, target)`` can be simulated,
 which is exactly the interface of :class:`repro.tage.TageSCL` and the
 LLBP wrappers.
+
+Predictors may additionally expose a fused ``step(t, pc, taken) ->
+mispredicted`` kernel performing lookup and training in one call; when
+present the loop drives it instead of ``predict``/``update``, avoiding
+one per-branch prediction-record allocation and a second method dispatch.
+All shipped predictors build their ``step`` as a closure with state
+hoisted into locals (see ``TageCore._build_fused_step``); the two paths
+are bit-identical (``tests/test_step_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -67,11 +75,17 @@ def simulate(
     trace: Trace,
     tensors: Optional[TraceTensors] = None,
     warmup_fraction: float = 0.25,
+    use_step: Optional[bool] = None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return measured statistics.
 
     ``warmup_fraction`` of the records train the predictor without being
     counted, mirroring the paper's warmup/measurement split.
+
+    ``use_step`` selects the hot-path kernel: ``None`` (default) uses the
+    predictor's fused ``step`` when it has one, ``True`` requires it, and
+    ``False`` forces the two-call ``predict``/``update`` path (useful for
+    equivalence testing and for callers that need prediction records).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
@@ -84,6 +98,9 @@ def simulate(
     n = len(pcs)
     warmup_end = int(n * warmup_fraction)
 
+    step = getattr(predictor, "step", None) if use_step is not False else None
+    if use_step is True and step is None:
+        raise ValueError(f"predictor {predictor.name!r} has no fused step kernel")
     predict = predictor.predict
     update = predictor.update
     on_unconditional = predictor.on_unconditional
@@ -102,20 +119,28 @@ def simulate(
                 on_unconditional(t, pcs[t], targets[t])
             continue
         split = min(max(start, warmup_end), end)
-        for t in range(start, split):
-            pc = pcs[t]
-            taken = takens[t]
-            prediction = predict(t, pc)
-            if prediction.pred != taken:
-                warmup_mispredictions += 1
-            update(t, pc, taken, prediction)
-        for t in range(split, end):
-            pc = pcs[t]
-            taken = takens[t]
-            prediction = predict(t, pc)
-            if prediction.pred != taken:
-                mispredictions += 1
-            update(t, pc, taken, prediction)
+        if step is not None:
+            for t in range(start, split):
+                if step(t, pcs[t], takens[t]):
+                    warmup_mispredictions += 1
+            for t in range(split, end):
+                if step(t, pcs[t], takens[t]):
+                    mispredictions += 1
+        else:
+            for t in range(start, split):
+                pc = pcs[t]
+                taken = takens[t]
+                prediction = predict(t, pc)
+                if prediction.pred != taken:
+                    warmup_mispredictions += 1
+                update(t, pc, taken, prediction)
+            for t in range(split, end):
+                pc = pcs[t]
+                taken = takens[t]
+                prediction = predict(t, pc)
+                if prediction.pred != taken:
+                    mispredictions += 1
+                update(t, pc, taken, prediction)
         cond_measured += end - split
 
     instr = tensors.instr_index

@@ -30,7 +30,9 @@ unbounds the sets, ``infinite_contexts`` unbounds the directory, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.common.bitops import mix64
 from repro.common.stats import StatGroup
@@ -40,6 +42,7 @@ from repro.llbp.pattern_buffer import PatternBuffer, PBEntry
 from repro.llbp.pattern_store import PatternStore
 from repro.llbp.rcr import CONTEXT_KINDS, ContextStreams
 from repro.tage.config import HISTORY_LENGTHS, TageConfig, history_length_index
+from repro.tage.loop_predictor import _CONF_MAX
 from repro.tage.streams import TraceTensors, build_tag_streams
 from repro.tage.tsl import TSLPrediction, TageSCL
 
@@ -82,6 +85,10 @@ class LLBP:
         self._instr = tensors.instr_index.tolist()
         self._ub_prefix = self.contexts.ub_prefix
         self._window = self.contexts.window_hashes(config.context_depth) if not config.no_contextualization else []
+        # per-record flag: does this UB update the rolling context register?
+        # (bytes: 1 byte per record, indexes to plain ints)
+        self._is_context_kind = bytes(np.isin(tensors.kinds, CONTEXT_KINDS).astype(np.uint8))
+        self._ub_counter = self.stats.counter("unconditional_branches")
 
         self.store = PatternStore(
             num_contexts=config.effective_contexts,
@@ -103,6 +110,8 @@ class LLBP:
             if config.use_bucketing and self._set_capacity > 0
             else None
         )
+        #: fused predict+update entry point used by the simulation loop
+        self.step = self._build_step()
 
     # -- context handling ----------------------------------------------------------
 
@@ -188,10 +197,10 @@ class LLBP:
     # -- prefetching ------------------------------------------------------------------
 
     def on_unconditional(self, t: int, pc: int, target: int) -> None:
-        self.stats.add("unconditional_branches")
+        self._ub_counter.value += 1
         if self.config.no_contextualization or self.config.zero_latency:
             return  # on-demand operation; no prefetch pipeline
-        if self.tensors.kinds[t] not in CONTEXT_KINDS:
+        if not self._is_context_kind[t]:
             return  # plain jumps do not update the rolling context register
         ub_index = self._ub_prefix[t]  # this UB's own index
         self._prefetch_context(t, self._prefetch_id(ub_index))
@@ -335,11 +344,31 @@ class LLBP:
 
     def _allocate(self, t: int, taken: bool, prediction: LLBPPrediction) -> None:
         """Allocate a pattern with a longer history than the incorrect one."""
-        context_id = prediction.context_id
-        if prediction.llbp_provider and prediction.pattern is not None:
-            provider_index = prediction.pattern.length_index
-        elif prediction.tsl.tage.provider_table >= 0:
-            provider_index = history_length_index(prediction.tsl.tage.provider_length)
+        self._allocate_scalar(
+            t,
+            taken,
+            prediction.context_id,
+            prediction.llbp_provider,
+            prediction.pattern,
+            prediction.tsl.tage.provider_table,
+            prediction.tsl.tage.provider_length,
+        )
+
+    def _allocate_scalar(
+        self,
+        t: int,
+        taken: bool,
+        context_id: int,
+        llbp_provider: bool,
+        pattern: Optional[Pattern],
+        provider_table: int,
+        provider_length: int,
+    ) -> None:
+        """Allocation body over plain scalars (shared with the fused step)."""
+        if llbp_provider and pattern is not None:
+            provider_index = pattern.length_index
+        elif provider_table >= 0:
+            provider_index = history_length_index(provider_length)
         else:
             provider_index = -1
 
@@ -372,6 +401,147 @@ class LLBP:
         allocated: Optional[Pattern],
     ) -> None:
         """Hook for LLBP-X's context tracking table; no-op in base LLBP."""
+
+    # -- fused hot path ----------------------------------------------------------
+
+    def _build_step(self) -> Callable[[int, int, bool], bool]:
+        """Build the fused ``step(t, pc, taken) -> mispredicted`` kernel.
+
+        One call per branch replaces :meth:`predict` + :meth:`update`
+        without constructing ``LLBPPrediction``/``TSLPrediction`` records:
+        the TAGE core and statistical corrector run their own fused
+        lookup+train kernels, the loop-predictor lookup is inlined, and the
+        pattern-buffer/pattern-set interactions happen in exactly the
+        unfused order.  Virtual hooks (``_context_of``,
+        ``_choose_allocation_index``, ``_on_allocation``) are captured as
+        bound methods, so LLBP-X inherits the kernel unchanged.  Pinned
+        bit-identical by ``tests/test_step_equivalence.py``.
+        """
+        config = self.config
+        no_ctx = config.no_contextualization
+        zero_latency = config.zero_latency
+        suppress_sc = config.suppress_sc
+        model_false_path = config.model_false_path
+        flush_false_path = config.flush_false_path
+
+        tsl = self.tsl
+        tage_fused = tsl.tage.fused_step
+        loop = tsl.loop
+        sc_fused = tsl.sc.fused_step if tsl.sc is not None else None
+        if loop is not None:
+            loop_entries = loop._entries
+            loop_mask = loop._mask
+            loop_update = loop.update
+
+        context_of = self._context_of  # virtual: LLBP-X overrides
+        direct_get = self._direct.get
+        pb_get = self.pattern_buffer.get
+        fetch = self._fetch_into_pb
+        instr = self._instr
+        tag_streams = self.tag_streams
+        active_indices = self._active_indices
+        hist_lengths = HISTORY_LENGTHS
+        tracker = self.tracker
+        allocate_for = self._allocate_scalar
+        on_false_path = self.on_false_path
+        flush = self._flush_false_path
+
+        stats = self.stats
+        predictions_counter = stats.counter("predictions")
+        hits_counter = stats.counter("llbp_hits")
+        provides_counter = stats.counter("llbp_provides")
+        stats_add = stats.add
+
+        def step(t: int, pc: int, taken: bool) -> bool:
+            # -- TAGE lookup + train (disjoint state; safe to fuse up front)
+            tage_pred, tage_conf, bim_pred, provider_table, provider_length = tage_fused(
+                t, pc, taken
+            )
+            tsl_pred = tage_pred
+            loop_valid = False
+            if loop is not None:
+                key = pc >> 2
+                entry = loop_entries[key & loop_mask]
+                if entry.tag == (key & 0x3FFF) and entry.confidence >= _CONF_MAX:
+                    loop_valid = True
+                    direction = entry.direction
+                    tsl_pred = (
+                        (not direction) if entry.current_iter >= entry.past_iter else direction
+                    )
+
+            # -- context + pattern lookup
+            pattern = None
+            pattern_set = None
+            if no_ctx:
+                cid = pc
+                pattern_set = direct_get(cid)
+            else:
+                cid = context_of(t, pc)
+                if cid != -1:
+                    now = instr[t]
+                    pattern_set, late = pb_get(cid, now)
+                    if pattern_set is None and not late and zero_latency:
+                        pattern_set = fetch(cid, now, False)
+            if pattern_set is not None:
+                pattern = pattern_set.lookup(t, tag_streams, active_indices)
+
+            # -- arbitration: longest history wins; loop beats LLBP
+            llbp_provider = False
+            pred = tsl_pred
+            pattern_pred = False
+            if pattern is not None:
+                hits_counter.value += 1
+                pattern_pred = pattern.ctr >= 0
+                if hist_lengths[pattern.length_index] >= provider_length and not loop_valid:
+                    llbp_provider = True
+                    pred = pattern_pred
+                    provides_counter.value += 1
+
+            # -- statistical corrector (fused evaluate+train); suppression
+            # uses the pattern's pre-update counter, so compute it first
+            if sc_fused is not None:
+                if llbp_provider:
+                    ctr = pattern.ctr
+                    conf = ctr if ctr >= 0 else -ctr - 1
+                    ctr_max = pattern_set.ctr_max
+                    suppress = suppress_sc and (ctr >= ctr_max - 1 or ctr <= -ctr_max)
+                else:
+                    conf = tage_conf
+                    suppress = False
+                sc_pred = sc_fused(t, pc, pred, conf, taken)
+                final = pred if suppress else sc_pred
+            else:
+                final = pred
+
+            # -- update
+            predictions_counter.value += 1
+            mispredicted = final != taken
+            if mispredicted:
+                stats_add("mispredictions")
+            if loop is not None:
+                loop_update(pc, taken, tage_pred != taken)
+            if llbp_provider:
+                if pattern_pred == taken and tsl_pred != taken:
+                    stats_add("llbp_useful")
+                    if tracker is not None:
+                        tracker.record(cid, pattern)
+                pattern.update(taken, pattern_set.ctr_max, pattern_set.ctr_min)
+                pattern_set.dirty = True
+            if mispredicted:
+                if cid != -1:
+                    allocate_for(
+                        t, taken, cid, llbp_provider, pattern, provider_table, provider_length
+                    )
+                if model_false_path:
+                    on_false_path(t)
+                    if flush_false_path:
+                        flush()
+            fast = pattern_pred if llbp_provider else bim_pred
+            if final != fast:
+                stats_add("fast_path_overrides")
+            return mispredicted
+
+        return step
 
     # -- teardown / reporting ------------------------------------------------------------
 

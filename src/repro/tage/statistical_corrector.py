@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List
 
 from repro.common.stats import StatGroup
 from repro.tage.config import SC_HISTORY_LENGTHS, TageConfig
@@ -59,6 +59,8 @@ class StatisticalCorrector:
         # adaptive threshold state
         self._theta = 6
         self._theta_counter = 0
+        #: fused evaluate+train kernel; bit-identical to predict()+update()
+        self.fused_step = self._build_fused_step()
 
     def _bias_index(self, pc: int) -> int:
         return ((pc >> 2) ^ (pc >> 8)) & self._mask
@@ -117,6 +119,97 @@ class StatisticalCorrector:
 
     def _clip(self, value: int) -> int:
         return max(self._ctr_min, min(self._ctr_max, value))
+
+    # -- fused hot path ----------------------------------------------------------
+
+    def _build_fused_step(self) -> Callable[[int, int, bool, int, bool], bool]:
+        """Specialise the per-branch SC kernel at construction time.
+
+        Returns ``fused(t, pc, input_pred, input_conf, taken) -> final
+        prediction``: one call evaluates the corrector *and* trains it,
+        matching ``predict()`` followed by ``update()`` bit for bit without
+        constructing an :class:`SCPrediction`.  Tables, streams, and masks
+        are hoisted into locals; the adaptive threshold stays on ``self``
+        (it is only rewritten on the rare override path).
+        """
+        bias = self._bias
+        mask = self._mask
+        local_table = self._local_table
+        local_hist = self._local_hist
+        local_mask = self._local_mask
+        local_slot_mask = self._local_slot_mask
+        local_bits_mask = (1 << self._local_bits) - 1
+        table_streams = tuple(zip(self._tables, self.idx_streams))
+        ctr_max = self._ctr_max
+        ctr_min = self._ctr_min
+        stats_add = self.stats.add
+
+        def fused(t: int, pc: int, input_pred: bool, input_conf: int, taken: bool) -> bool:
+            pc2 = pc >> 2
+            bias_idx = (pc2 ^ (pc >> 8)) & mask
+            slot = pc2 & local_slot_mask
+            history = local_hist[slot]
+            local_idx = (pc2 ^ (pc >> 7) ^ history * 3 ^ (history >> 4)) & local_mask
+            total = 2 * bias[bias_idx] + 1 + 2 * (2 * local_table[local_idx] + 1)
+            for table, stream in table_streams:
+                total += 2 * table[stream[t]] + 1
+            prior = 4 + 2 * (input_conf if input_conf < 3 else 3)
+            total += prior if input_pred else -prior
+
+            sc_pred = total >= 0
+            abs_total = total if sc_pred else -total
+            theta = self._theta
+            if sc_pred != input_pred and abs_total >= theta:
+                stats_add("overrides")
+                overrode = True
+                final = sc_pred
+            else:
+                overrode = False
+                final = input_pred
+
+            # -- train --
+            if sc_pred != taken or abs_total < theta * 4:
+                if taken:
+                    value = bias[bias_idx]
+                    if value < ctr_max:
+                        bias[bias_idx] = value + 1
+                    value = local_table[local_idx]
+                    if value < ctr_max:
+                        local_table[local_idx] = value + 1
+                    for table, stream in table_streams:
+                        j = stream[t]
+                        value = table[j]
+                        if value < ctr_max:
+                            table[j] = value + 1
+                else:
+                    value = bias[bias_idx]
+                    if value > ctr_min:
+                        bias[bias_idx] = value - 1
+                    value = local_table[local_idx]
+                    if value > ctr_min:
+                        local_table[local_idx] = value - 1
+                    for table, stream in table_streams:
+                        j = stream[t]
+                        value = table[j]
+                        if value > ctr_min:
+                            table[j] = value - 1
+            local_hist[slot] = ((history << 1) | taken) & local_bits_mask
+
+            if overrode:
+                if final == taken:
+                    counter = self._theta_counter - 1
+                else:
+                    counter = self._theta_counter + 1
+                if counter >= 8:
+                    self._theta = min(511, theta + theta // 8 + 2)
+                    counter = 0
+                elif counter <= -8:
+                    self._theta = max(4, theta - max(1, theta // 16))
+                    counter = 0
+                self._theta_counter = counter
+            return final
+
+        return fused
 
     @property
     def theta(self) -> int:

@@ -80,12 +80,16 @@ def folded_stream(bits: np.ndarray, length: int, width: int) -> np.ndarray:
     # Left-pad with zeros so all window offsets index directly (records
     # before the trace start have zero history).
     pad = length + 2 * width + 2
-    padded = np.concatenate([np.zeros(pad, dtype=np.int64), prefix])
-    base = np.arange(pad - 1, pad - 1 + n, dtype=np.int64)  # position of t-1
+    padded = np.zeros(pad + n, dtype=np.int64)
+    padded[pad:] = prefix
     folded = np.zeros(n, dtype=np.int64)
+    # every window offset is uniform across t, so each gather is a
+    # contiguous slice (position of t-1 is pad-1+t)
     for p in range(min(width, length)):
         count = -(-(length - p) // width)  # ages p, p+w, ... below length
-        term = padded[base - p] ^ padded[base - p - count * width]
+        hi = pad - 1 - p
+        lo = hi - count * width
+        term = padded[hi : hi + n] ^ padded[lo : lo + n]
         folded |= term << p
     return folded.astype(np.int32)
 
@@ -122,6 +126,11 @@ class TraceTensors:
         gaps = np.asarray(trace.inst_gaps, dtype=np.int64)
         self.instr_index = np.cumsum(gaps + 1)
         self._folds: Dict[Tuple[int, int], np.ndarray] = {}
+        # built index/tag/bimodal streams, keyed by their full parameter
+        # tuple; streams are read-only after construction, so every
+        # predictor instance with the same table geometry shares them
+        # (matrix runs build 3+ predictors per trace)
+        self._streams: Dict[Tuple, object] = {}
         self._kind_runs: List[Tuple[int, int, bool]] = []
 
     def fold(self, length: int, width: int) -> np.ndarray:
@@ -131,8 +140,9 @@ class TraceTensors:
         return self._folds[key]
 
     def release_folds(self) -> None:
-        """Free fold memory (runner calls this between workloads)."""
+        """Free fold and stream memory (runner calls this between workloads)."""
         self._folds.clear()
+        self._streams.clear()
 
     def kind_runs(self) -> List[Tuple[int, int, bool]]:
         """Maximal runs of same-kind records: ``[(start, end, is_cond), ...]``.
@@ -152,13 +162,20 @@ class TraceTensors:
         return self._kind_runs
 
 
-def _as_arrays(matrix: np.ndarray) -> List[array]:
-    """Convert an (n_tables, T) int array to compact per-table ``array('l')``.
+def _as_array(row: np.ndarray) -> array:
+    """Convert a length-T int64 vector to a compact ``array('l')``.
 
     ``array`` indexing returns plain Python ints faster than numpy scalar
-    indexing and stores 8 bytes per element with no object overhead.
+    indexing and stores 8 bytes per element with no object overhead.  On
+    platforms where C ``long`` is 64-bit the bytes are copied directly;
+    elsewhere we fall back to element-wise conversion.
     """
-    return [array("l", row.tolist()) for row in matrix]
+    out = array("l")
+    if out.itemsize == 8:
+        out.frombytes(np.ascontiguousarray(row, dtype=np.int64).tobytes())
+    else:  # pragma: no cover - 32-bit long platforms
+        out.extend(row.tolist())
+    return out
 
 
 def build_index_streams(
@@ -169,13 +186,35 @@ def build_index_streams(
     """Per-table index stream: hash of pc and folded history."""
     if len(lengths) != len(index_bits):
         raise ValueError("lengths and index_bits must align")
+    key = ("idx", tuple(lengths), tuple(index_bits))
+    cached = tensors._streams.get(key)
+    if cached is not None:
+        return cached
     pcs = tensors.pcs >> 2
     rows = []
     for table, (length, bits) in enumerate(zip(lengths, index_bits)):
         fold = tensors.fold(length, WIDE_INDEX_BITS)
         mixed = pcs ^ (pcs >> bits) ^ (np.int64(table + 1) * np.int64(0x9E37)) ^ fold.astype(np.int64)
-        rows.append(xor_fold(mixed, max(WIDE_INDEX_BITS, 30), bits))
-    return _as_arrays(np.stack(rows))
+        rows.append(_as_array(xor_fold(mixed, max(WIDE_INDEX_BITS, 30), bits)))
+    tensors._streams[key] = rows
+    return rows
+
+
+def build_bimodal_stream(tensors: TraceTensors, bim_mask: int) -> array:
+    """Per-record bimodal table index: ``(pc >> 2) & mask``.
+
+    Precomputed so the fused hot path reads ``stream[t]`` like every other
+    table index instead of re-hashing the pc per branch.
+    """
+    if bim_mask < 0:
+        raise ValueError(f"bim_mask must be non-negative, got {bim_mask}")
+    key = ("bim", bim_mask)
+    cached = tensors._streams.get(key)
+    if cached is not None:
+        return cached
+    stream = _as_array((tensors.pcs >> np.int64(2)) & np.int64(bim_mask))
+    tensors._streams[key] = stream
+    return stream
 
 
 def build_tag_streams(
@@ -186,11 +225,16 @@ def build_tag_streams(
     """Per-table tag stream: pc mixed with two independent folds."""
     if len(lengths) != len(tag_bits):
         raise ValueError("lengths and tag_bits must align")
+    key = ("tag", tuple(lengths), tuple(tag_bits))
+    cached = tensors._streams.get(key)
+    if cached is not None:
+        return cached
     pcs = tensors.pcs >> 2
     rows = []
     for length, bits in zip(lengths, tag_bits):
         fold1 = tensors.fold(length, WIDE_TAG1_BITS).astype(np.int64)
         fold2 = tensors.fold(length, WIDE_TAG2_BITS).astype(np.int64)
         mixed = pcs ^ (pcs >> 5) ^ fold1 ^ (fold2 << 1)
-        rows.append(xor_fold(mixed, max(WIDE_TAG1_BITS + 1, 30), bits))
-    return _as_arrays(np.stack(rows))
+        rows.append(_as_array(xor_fold(mixed, max(WIDE_TAG1_BITS + 1, 30), bits)))
+    tensors._streams[key] = rows
+    return rows

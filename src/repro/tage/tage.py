@@ -19,12 +19,19 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
 
 from repro.common.bitops import mix64
 from repro.common.stats import StatGroup
 from repro.tage.config import TageConfig
-from repro.tage.streams import TraceTensors, build_index_streams, build_tag_streams
+from repro.tage.streams import (
+    TraceTensors,
+    build_bimodal_stream,
+    build_index_streams,
+    build_tag_streams,
+)
 
 #: sentinel tag meaning "empty entry"
 _EMPTY = -1
@@ -90,6 +97,8 @@ class TageCore:
         if bim_entries & self._bim_mask:
             raise ValueError(f"bimodal entries must be a power of two, got {bim_entries}")
         self._bimodal = array("b", [0]) * bim_entries
+        # the base predictor reads its index stream like every tagged table
+        self.bim_idx_stream = build_bimodal_stream(tensors, self._bim_mask)
 
         # use-alt-on-newly-allocated counter (4 bits, centred at 8)
         self._use_alt = 8
@@ -97,6 +106,9 @@ class TageCore:
         self._tick = 0
         self._tick_max = 1023
         self._alloc_rand = mix64(config.alloc_seed)
+
+        #: fused lookup+train kernel; bit-identical to predict()+update()
+        self.fused_step = self._build_fused_step()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -153,11 +165,12 @@ class TageCore:
                         alt_idx = idx
                         break
 
-        bim_pred = self._bim_pred(pc)
+        bim_ctr = self._bimodal[self.bim_idx_stream[t]]
+        bim_pred = bim_ctr >= 0
         if provider < 0:
             return TagePrediction(
                 pred=bim_pred, provider_table=-1, provider_length=0,
-                provider_ctr=self._bimodal[self._bim_index(pc)], provider_weak=False,
+                provider_ctr=bim_ctr, provider_weak=False,
                 provider_new=False, alt_pred=bim_pred, alt_table=-1,
                 longest_pred=bim_pred, provider_index=-1, alt_index=-1,
                 bim_pred=bim_pred,
@@ -232,9 +245,9 @@ class TageCore:
                     alt_ctr, alt_u = self._read(pred.alt_table, t, pc, pred.alt_index)
                     self._write(pred.alt_table, t, pc, pred.alt_index, self._update_ctr(alt_ctr, taken), alt_u)
                 else:
-                    self._update_bimodal(pc, taken)
+                    self._update_bimodal(self.bim_idx_stream[t], taken)
         else:
-            self._update_bimodal(pc, taken)
+            self._update_bimodal(self.bim_idx_stream[t], taken)
 
         if allocate and mispredicted and pred.provider_table < len(self.lengths) - 1:
             self._allocate(t, pc, taken, pred.provider_table)
@@ -243,8 +256,7 @@ class TageCore:
             self.stats.add("mispredictions")
         self.stats.add("updates")
 
-    def _update_bimodal(self, pc: int, taken: bool) -> None:
-        idx = self._bim_index(pc)
+    def _update_bimodal(self, idx: int, taken: bool) -> None:
         ctr = self._bimodal[idx]
         self._bimodal[idx] = min(1, ctr + 1) if taken else max(-2, ctr - 1)
 
@@ -283,19 +295,267 @@ class TageCore:
                     self._tick = 0
 
     def _decay_useful(self) -> None:
-        """Graceful aging of useful bits when allocations keep failing."""
+        """Graceful aging of useful bits when allocations keep failing.
+
+        Halving is vectorised: each table's ``array('b')`` is viewed as an
+        int8 numpy array and shifted in place, so the 1023-failed-allocation
+        stall costs O(tables) vector ops instead of O(tables x entries)
+        Python iterations.
+        """
         for useful in self._useful:
-            for i, value in enumerate(useful):
-                if value:
-                    useful[i] = value >> 1
+            view = np.frombuffer(useful, dtype=np.int8)
+            np.right_shift(view, 1, out=view)
         self.stats.add("useful_decays")
+
+    # -- fused hot path ----------------------------------------------------------
+
+    def step(self, t: int, pc: int, taken: bool) -> bool:
+        """Fused lookup + train; returns whether the prediction missed.
+
+        Bit-identical to ``predict()`` followed by ``update()`` (same table
+        state, same statistics) without constructing a
+        :class:`TagePrediction`.  Consumers that need the full prediction
+        record keep using the two-call API.
+        """
+        return self.fused_step(t, pc, taken)[0] != taken
+
+    def _build_fused_step(self) -> Callable[[int, int, bool], Tuple[bool, int, bool, int, int]]:
+        """Specialise the per-branch kernel for this configuration.
+
+        Returns ``fused(t, pc, taken) -> (pred, confidence, bim_pred,
+        provider_table, provider_length)``: one call performs the complete
+        lookup *and* training of the TAGE core.  All table/stream/stat
+        lookups are hoisted into the closure, and the finite/infinite mode
+        split is resolved here, at construction time, instead of per branch.
+        The returned tuple carries exactly what the TAGE-SC-L and LLBP
+        wrappers need to finish their own fused steps.
+        """
+        lengths = self.lengths
+        last = len(lengths) - 1
+        idx_streams = self.idx_streams
+        tag_streams = self.tag_streams
+        bim_stream = self.bim_idx_stream
+        bimodal = self._bimodal
+        ctr_max = self._ctr_max
+        ctr_min = self._ctr_min
+        u_max = self._u_max
+        stats = self.stats
+        updates_counter = stats.counter("updates")
+        stats_add = stats.add
+        allocate = self._allocate
+
+        if self.config.infinite:
+            scan = tuple(
+                (i, idx_streams[i], tag_streams[i], self._inf_tables[i])
+                for i in range(last, -1, -1)
+            )
+
+            def fused(t: int, pc: int, taken: bool) -> Tuple[bool, int, bool, int, int]:
+                provider = -1
+                alt = -1
+                p_entry = a_entry = None
+                for i, idxs, tags, table in scan:
+                    entry = table.get((pc, idxs[t], tags[t]))
+                    if entry is not None:
+                        if provider < 0:
+                            provider = i
+                            p_entry = entry
+                        else:
+                            e0 = entry[0]
+                            if (e0 != 0 and e0 != -1) or entry[1] > 0:
+                                alt = i
+                                a_entry = entry
+                                break
+                            if alt < 0:
+                                alt = i
+                                a_entry = entry
+
+                bidx = bim_stream[t]
+                bim_ctr = bimodal[bidx]
+                bim_pred = bim_ctr >= 0
+                if provider < 0:
+                    pred = bim_pred
+                    if taken:
+                        if bim_ctr < 1:
+                            bimodal[bidx] = bim_ctr + 1
+                    elif bim_ctr > -2:
+                        bimodal[bidx] = bim_ctr - 1
+                    if pred != taken:
+                        allocate(t, pc, taken, -1)
+                        stats_add("allocations")
+                        stats_add("mispredictions")
+                    updates_counter.value += 1
+                    conf = bim_ctr if bim_ctr >= 0 else -bim_ctr - 1
+                    return pred, conf, bim_pred, -1, 0
+
+                ctr = p_entry[0]
+                useful = p_entry[1]
+                longest_pred = ctr >= 0
+                weak = ctr == 0 or ctr == -1
+                new = weak and useful == 0
+                if alt >= 0:
+                    alt_ctr = a_entry[0]
+                    alt_pred = alt_ctr >= 0
+                else:
+                    alt_pred = bim_pred
+                pred = alt_pred if (new and self._use_alt >= 8) else longest_pred
+                conf = ctr if ctr >= 0 else -ctr - 1
+
+                # -- train provider --
+                if taken:
+                    if ctr < ctr_max:
+                        p_entry[0] = ctr + 1
+                elif ctr > ctr_min:
+                    p_entry[0] = ctr - 1
+                if longest_pred != alt_pred:
+                    if longest_pred == taken:
+                        if useful < u_max:
+                            p_entry[1] = useful + 1
+                    elif useful > 0:
+                        p_entry[1] = useful - 1
+                    if new:
+                        use_alt = self._use_alt
+                        if alt_pred == taken:
+                            if use_alt < 15:
+                                self._use_alt = use_alt + 1
+                        elif use_alt > 0:
+                            self._use_alt = use_alt - 1
+                if weak:
+                    if alt >= 0:
+                        if taken:
+                            if alt_ctr < ctr_max:
+                                a_entry[0] = alt_ctr + 1
+                        elif alt_ctr > ctr_min:
+                            a_entry[0] = alt_ctr - 1
+                    else:
+                        if taken:
+                            if bim_ctr < 1:
+                                bimodal[bidx] = bim_ctr + 1
+                        elif bim_ctr > -2:
+                            bimodal[bidx] = bim_ctr - 1
+
+                if pred != taken:
+                    if provider < last:
+                        allocate(t, pc, taken, provider)
+                        stats_add("allocations")
+                    stats_add("mispredictions")
+                updates_counter.value += 1
+                return pred, conf, bim_pred, provider, lengths[provider]
+
+            return fused
+
+        scan = tuple(
+            (i, idx_streams[i], tag_streams[i], self._tags[i], self._ctrs[i], self._useful[i])
+            for i in range(last, -1, -1)
+        )
+
+        def fused(t: int, pc: int, taken: bool) -> Tuple[bool, int, bool, int, int]:
+            provider = -1
+            alt = -1
+            provider_idx = alt_idx = -1
+            p_ctrs = p_useful = a_ctrs = None
+            for i, idxs, tags, table_tags, table_ctrs, table_useful in scan:
+                idx = idxs[t]
+                if table_tags[idx] == tags[t]:
+                    if provider < 0:
+                        provider = i
+                        provider_idx = idx
+                        p_ctrs = table_ctrs
+                        p_useful = table_useful
+                    else:
+                        alt = i
+                        alt_idx = idx
+                        a_ctrs = table_ctrs
+                        break
+
+            bidx = bim_stream[t]
+            bim_ctr = bimodal[bidx]
+            bim_pred = bim_ctr >= 0
+            if provider < 0:
+                pred = bim_pred
+                if taken:
+                    if bim_ctr < 1:
+                        bimodal[bidx] = bim_ctr + 1
+                elif bim_ctr > -2:
+                    bimodal[bidx] = bim_ctr - 1
+                if pred != taken:
+                    allocate(t, pc, taken, -1)
+                    stats_add("allocations")
+                    stats_add("mispredictions")
+                updates_counter.value += 1
+                conf = bim_ctr if bim_ctr >= 0 else -bim_ctr - 1
+                return pred, conf, bim_pred, -1, 0
+
+            ctr = p_ctrs[provider_idx]
+            useful = p_useful[provider_idx]
+            longest_pred = ctr >= 0
+            weak = ctr == 0 or ctr == -1
+            new = weak and useful == 0
+            if alt >= 0:
+                alt_ctr = a_ctrs[alt_idx]
+                alt_pred = alt_ctr >= 0
+            else:
+                alt_pred = bim_pred
+            pred = alt_pred if (new and self._use_alt >= 8) else longest_pred
+            conf = ctr if ctr >= 0 else -ctr - 1
+
+            # -- train provider --
+            if taken:
+                if ctr < ctr_max:
+                    p_ctrs[provider_idx] = ctr + 1
+            elif ctr > ctr_min:
+                p_ctrs[provider_idx] = ctr - 1
+            if longest_pred != alt_pred:
+                if longest_pred == taken:
+                    if useful < u_max:
+                        p_useful[provider_idx] = useful + 1
+                elif useful > 0:
+                    p_useful[provider_idx] = useful - 1
+                if new:
+                    use_alt = self._use_alt
+                    if alt_pred == taken:
+                        if use_alt < 15:
+                            self._use_alt = use_alt + 1
+                    elif use_alt > 0:
+                        self._use_alt = use_alt - 1
+            if weak:
+                if alt >= 0:
+                    if taken:
+                        if alt_ctr < ctr_max:
+                            a_ctrs[alt_idx] = alt_ctr + 1
+                    elif alt_ctr > ctr_min:
+                        a_ctrs[alt_idx] = alt_ctr - 1
+                else:
+                    if taken:
+                        if bim_ctr < 1:
+                            bimodal[bidx] = bim_ctr + 1
+                    elif bim_ctr > -2:
+                        bimodal[bidx] = bim_ctr - 1
+
+            if pred != taken:
+                if provider < last:
+                    allocate(t, pc, taken, provider)
+                    stats_add("allocations")
+                stats_add("mispredictions")
+            updates_counter.value += 1
+            return pred, conf, bim_pred, provider, lengths[provider]
+
+        return fused
 
     # -- introspection ---------------------------------------------------------
 
     def occupancy(self) -> float:
-        """Fraction of tagged entries currently valid (diagnostics/tests)."""
+        """Fraction of tagged entries currently valid (diagnostics/tests).
+
+        Only meaningful for finite tables; infinite mode has no capacity to
+        be a fraction of -- use :meth:`entry_count` there.
+        """
         if self.config.infinite:
-            total = sum(len(table) for table in self._inf_tables)
-            return float(total)
-        used = sum(1 for tags in self._tags for tag in tags if tag != _EMPTY)
-        return used / (len(self._tags) * self.entries_per_table)
+            raise ValueError("infinite mode has no capacity; use entry_count()")
+        return self.entry_count() / (len(self._tags) * self.entries_per_table)
+
+    def entry_count(self) -> int:
+        """Number of valid tagged entries across all tables (both modes)."""
+        if self.config.infinite:
+            return sum(len(table) for table in self._inf_tables)
+        return sum(1 for tags in self._tags for tag in tags if tag != _EMPTY)

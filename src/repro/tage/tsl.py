@@ -12,11 +12,11 @@ the plain standalone-TSL behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.common.stats import StatGroup
 from repro.tage.config import TageConfig
-from repro.tage.loop_predictor import LoopPrediction, LoopPredictor
+from repro.tage.loop_predictor import _CONF_MAX, LoopPrediction, LoopPredictor
 from repro.tage.statistical_corrector import SCPrediction, StatisticalCorrector
 from repro.tage.streams import TraceTensors
 from repro.tage.tage import TageCore, TagePrediction
@@ -47,6 +47,8 @@ class TageSCL:
         self.loop = LoopPredictor(config.loop_entries) if config.use_loop else None
         self.sc = StatisticalCorrector(config, tensors) if config.use_sc else None
         self.stats = StatGroup(f"tsl[{config.name}]")
+        #: fused predict+update entry point used by the simulation loop
+        self.step = self._build_step()
 
     # -- staged prediction (used directly by the LLBP wrappers) -----------------
 
@@ -99,3 +101,49 @@ class TageSCL:
 
     def on_unconditional(self, t: int, pc: int, target: int) -> None:
         """Unconditional branches need no state change: streams are precomputed."""
+
+    # -- fused hot path ----------------------------------------------------------
+
+    def _build_step(self) -> Callable[[int, int, bool], bool]:
+        """Build the fused ``step(t, pc, taken) -> mispredicted`` kernel.
+
+        One call per branch replaces ``predict()`` + ``update()``: the TAGE
+        core runs its own fused lookup+train kernel, the loop predictor's
+        lookup is inlined, and the statistical corrector runs its fused
+        evaluate+train kernel.  No ``TagePrediction``/``TSLPrediction``/
+        ``LoopPrediction``/``SCPrediction`` records are constructed.  The
+        result -- final direction, every table write, and every statistic
+        -- is bit-identical to the two-call API (pinned by
+        ``tests/test_step_equivalence.py``).
+        """
+        tage_fused = self.tage.fused_step
+        loop = self.loop
+        sc_fused = self.sc.fused_step if self.sc is not None else None
+        stats = self.stats
+        predictions_counter = stats.counter("predictions")
+        stats_add = stats.add
+        if loop is not None:
+            loop_entries = loop._entries
+            loop_mask = loop._mask
+            loop_update = loop.update
+
+        def step(t: int, pc: int, taken: bool) -> bool:
+            tage_pred, conf, bim_pred, _table, _length = tage_fused(t, pc, taken)
+            pred = tage_pred
+            if loop is not None:
+                key = pc >> 2
+                entry = loop_entries[key & loop_mask]
+                if entry.tag == (key & 0x3FFF) and entry.confidence >= _CONF_MAX:
+                    direction = entry.direction
+                    pred = (not direction) if entry.current_iter >= entry.past_iter else direction
+            final = sc_fused(t, pc, pred, conf, taken) if sc_fused is not None else pred
+            if final != taken:
+                stats_add("mispredictions")
+            if final != bim_pred:
+                stats_add("fast_path_overrides")
+            predictions_counter.value += 1
+            if loop is not None:
+                loop_update(pc, taken, tage_pred != taken)
+            return final != taken
+
+        return step

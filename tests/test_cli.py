@@ -53,6 +53,14 @@ class TestParser:
         args = build_parser().parse_args(["report", "fig12"])
         assert args.jobs == 1 and args.cache_dir is None and not args.no_cache
 
+    def test_profile_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "kafka", "--config", "llbp", "--profile", "--profile-top", "10"]
+        )
+        assert args.profile and args.profile_top == 10
+        defaults = build_parser().parse_args(["report", "fig12"])
+        assert not defaults.profile and defaults.profile_top == 25
+
 
 class TestExecution:
     def test_list_exits_zero(self, capsys):
@@ -77,6 +85,16 @@ class TestExecution:
         code = main(["report", "table1", "--workloads", "kafka", "--branches", "8000"])
         assert code == 0
         assert "kafka" in capsys.readouterr().out
+
+    def test_run_with_profile_reports_hot_functions(self, capsys):
+        code = main(
+            ["run", "--workload", "kafka", "--config", "tsl_64k",
+             "--branches", "5000", "--profile", "--profile-top", "5"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "MPKI" in captured.out
+        assert "cumulative" in captured.err  # pstats header went to stderr
 
     def test_run_parallel_matches_serial_output(self, capsys):
         argv = ["run", "--workload", "kafka", "--workload", "nodeapp",

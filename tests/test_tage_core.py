@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.core.simulator import simulate
 from repro.tage import TageCore, TageSCL, TraceTensors, tsl_64k, tsl_infinite
 from repro.traces.record import BranchKind, Trace
@@ -80,10 +82,12 @@ class TestTageInternals:
         tensors = TraceTensors(trace)
         core = TageCore(tsl_64k(scale=TEST_SCALE), tensors)
         assert core.occupancy() == 0.0
+        assert core.entry_count() == 0
         for t in range(len(trace)):
             pred = core.predict(t, trace.pcs[t])
             core.update(t, trace.pcs[t], trace.taken[t], pred)
-        assert core.occupancy() > 0.0
+        assert 0.0 < core.occupancy() <= 1.0
+        assert core.entry_count() > 0
 
     def test_prediction_reports_provider(self):
         trace = make_cond_trace([True] * 200)
@@ -105,7 +109,9 @@ class TestTageInternals:
         for t in range(len(trace)):
             pred = core.predict(t, trace.pcs[t])
             core.update(t, trace.pcs[t], trace.taken[t], pred)
-        assert core.occupancy() > 0  # in infinite mode this is the entry count
+        assert core.entry_count() > 0
+        with pytest.raises(ValueError, match="entry_count"):
+            core.occupancy()  # infinite mode has no capacity to be a fraction of
 
 
 class TestStagedInterface:
