@@ -13,9 +13,13 @@ Examples::
     python -m repro report fig12 --jobs 4 --cache-dir ~/.cache/repro
     python -m repro list
 
-``--jobs N`` fans uncached simulations out over N worker processes
-(bit-identical results); ``--cache-dir`` persists every result so repeat
-invocations -- and other figures sharing cells -- skip simulation.
+``--jobs N`` fans uncached simulations out over N worker processes, one
+task per (workload, config) cell (bit-identical results); ``--cache-dir``
+persists every result so repeat invocations -- and other figures sharing
+cells -- skip simulation.  ``--artifact-dir`` persists trace artifacts so
+warm bundles memory-map from disk instead of regenerating (parallel
+workers share the store); ``--warm-artifacts`` pre-builds every
+workload's bundle up front.
 ``--profile`` wraps the whole command in :mod:`cProfile` and prints the
 top functions by cumulative time to stderr (``--profile-top`` controls
 how many) -- the standard first step when chasing a hot-path regression.
@@ -27,7 +31,7 @@ import argparse
 import sys
 from typing import List
 
-from repro.core import ResultCache, Runner, RunnerConfig, reduction
+from repro.core import ArtifactStore, ResultCache, Runner, RunnerConfig, reduction
 from repro.traces.workloads import WORKLOAD_NAMES
 
 KNOWN_CONFIGS = (
@@ -45,7 +49,22 @@ def _make_runner(args: argparse.Namespace) -> Runner:
     cache = None
     if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
         cache = ResultCache(args.cache_dir)
-    return Runner(RunnerConfig(scale=args.scale, num_branches=args.branches), cache=cache)
+    artifacts = None
+    if getattr(args, "artifact_dir", None):
+        artifacts = ArtifactStore(args.artifact_dir)
+    runner = Runner(
+        RunnerConfig(scale=args.scale, num_branches=args.branches),
+        cache=cache,
+        artifacts=artifacts,
+    )
+    if artifacts is not None and getattr(args, "warm_artifacts", False):
+        built = artifacts.warm(WORKLOAD_NAMES, runner.config)
+        print(
+            f"artifacts: warmed {len(WORKLOAD_NAMES)} workloads ({built} built, "
+            f"{len(WORKLOAD_NAMES) - built} already present)",
+            file=sys.stderr,
+        )
+    return runner
 
 
 def _progress_printer(total: int):
@@ -68,6 +87,14 @@ def _print_cache_stats(runner: Runner) -> None:
         print(
             f"cache: {stats['hits']} hits, {stats['misses']} misses, "
             f"{stats['writes']} writes ({runner.sim_count} simulations)",
+            file=sys.stderr,
+        )
+    if runner.artifacts is not None:
+        stats = runner.artifacts.stats()
+        print(
+            f"artifacts: {stats['bundle_loads']} bundle loads, "
+            f"{stats['bundle_writes']} bundle writes "
+            f"({runner.bundle_builds} bundle builds in this process)",
             file=sys.stderr,
         )
 
@@ -188,6 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--no-cache", action="store_true",
         help="ignore --cache-dir (force re-simulation, do not read or write cached results)",
+    )
+    common.add_argument(
+        "--artifact-dir", default=None,
+        help="persistent trace-artifact store; warm bundles load memory-mapped "
+        "instead of regenerating traces (shared by parallel workers)",
+    )
+    common.add_argument(
+        "--warm-artifacts", action="store_true",
+        help="with --artifact-dir: pre-build the bundle of every known workload "
+        "before running, so the run itself performs zero trace generations",
     )
     common.add_argument(
         "--profile", action="store_true",

@@ -7,6 +7,7 @@ from repro.core.analysis import (
     duplication_by_depth,
     useful_by_depth,
 )
+from repro.core.artifacts import ARTIFACT_FORMAT_VERSION, ArtifactStore, BundleArtifacts
 from repro.core.limit_study import LIMIT_STEPS, LimitStep, cumulative_overrides, run_limit_study
 from repro.core.runner import (
     DEFAULT_BRANCHES,
@@ -21,6 +22,7 @@ from repro.core.runner import (
 )
 from repro.core.results_io import (
     ResultCache,
+    TimingStore,
     cache_digest,
     cache_key,
     freeze_overrides,
@@ -33,6 +35,9 @@ from repro.core.results_io import (
 from repro.core.simulator import Predictor, SimulationResult, simulate
 
 __all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactStore",
+    "BundleArtifacts",
     "ComparisonRow",
     "ContextProfile",
     "DEFAULT_BRANCHES",
@@ -44,6 +49,7 @@ __all__ = [
     "Runner",
     "RunnerConfig",
     "SimulationResult",
+    "TimingStore",
     "WorkloadBundle",
     "cache_digest",
     "cache_key",

@@ -1,0 +1,280 @@
+"""Persistent, content-addressed store of trace artifacts.
+
+Building a :class:`~repro.core.runner.WorkloadBundle` from scratch --
+trace generation, :class:`~repro.tage.TraceTensors`, context streams --
+costs a substantial fraction of a simulation, and every worker process of
+a parallel matrix used to repeat it privately.  This module persists the
+whole bundle on disk, keyed by a content hash of everything the trace
+depends on (the full :class:`~repro.traces.workloads.WorkloadSpec`, the
+effective seed, the requested length, and ``GENERATOR_VERSION``), so:
+
+* a warm run's ``Runner.bundle()`` becomes an ``mmap`` + wrap instead of
+  a rebuild (zero trace generations -- a counter asserts this), and
+* N worker processes on one machine share page-cache pages of the same
+  arrays instead of holding N private copies.
+
+Layout: one directory per bundle digest holding the five trace columns
+as raw ``.npy`` arrays plus the context-stream inputs; *derived* streams
+(folds, built index/tag/bimodal streams, per-depth context hashes) are
+written back lazily through :class:`BundleArtifacts` as predictors first
+request them, and memory-mapped on every later load.  All files are
+written via temp-file + ``os.replace`` (concurrent writers race benignly:
+content is deterministic, last writer wins whole files); ``meta.json`` is
+written last and marks a bundle complete, so readers never observe a
+partial bundle.  Bumping ``GENERATOR_VERSION`` changes every digest,
+invalidating the store with no manual cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.results_io import cache_digest
+from repro.llbp.rcr import ContextStreams
+from repro.tage.streams import TraceTensors
+from repro.traces.generator import GENERATOR_VERSION
+from repro.traces.record import COLUMN_DTYPES, Trace
+from repro.traces.workloads import workload_spec
+
+#: version of the on-disk artifact layout; part of every bundle digest
+ARTIFACT_FORMAT_VERSION = 1
+
+_META_NAME = "meta.json"
+
+
+def _atomic_save(path: Path, arr: np.ndarray) -> None:
+    """Write ``arr`` to ``path`` atomically (unique temp + rename)."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp.npy")
+    with open(tmp, "wb") as handle:
+        np.save(handle, np.ascontiguousarray(arr))
+    os.replace(tmp, path)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _stream_file(key: Tuple) -> str:
+    """Stable filename for a built-stream key tuple (ints/strs only)."""
+    return f"stream_{cache_digest({'stream_key': repr(key)})[:16]}.npy"
+
+
+class BundleArtifacts:
+    """Read/write handle for one bundle's derived-stream files.
+
+    Duck-typed against the ``artifact_cache`` hook of
+    :class:`~repro.tage.TraceTensors` and the ``hash_cache`` hook of
+    :class:`~repro.llbp.ContextStreams`: loads return memory-mapped
+    arrays (or ``None`` on a miss), stores write atomically.
+    """
+
+    def __init__(self, store: "ArtifactStore", directory: Path) -> None:
+        self.store = store
+        self.directory = directory
+
+    def _load(self, name: str) -> Optional[np.ndarray]:
+        try:
+            arr = np.load(self.directory / name, mmap_mode="r")
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+        self.store.derived_loads += 1
+        return arr
+
+    def _store(self, name: str, arr: np.ndarray) -> None:
+        _atomic_save(self.directory / name, arr)
+        self.store.derived_writes += 1
+
+    def load_fold(self, length: int, width: int) -> Optional[np.ndarray]:
+        return self._load(f"fold_{length}_{width}.npy")
+
+    def store_fold(self, length: int, width: int, fold: np.ndarray) -> None:
+        self._store(f"fold_{length}_{width}.npy", fold)
+
+    def load_stream(self, key: Tuple) -> Optional[np.ndarray]:
+        return self._load(_stream_file(key))
+
+    def store_stream(self, key: Tuple, matrix: np.ndarray) -> None:
+        self._store(_stream_file(key), matrix)
+
+    def load_context_hashes(self, depth: int) -> Optional[List[int]]:
+        arr = self._load(f"ctxhash_{depth}.npy")
+        return None if arr is None else arr.tolist()
+
+    def store_context_hashes(self, depth: int, hashes: Sequence[int]) -> None:
+        self._store(f"ctxhash_{depth}.npy", np.asarray(hashes, dtype=np.uint64))
+
+
+class ArtifactStore:
+    """Content-addressed on-disk cache of workload bundles.
+
+    ``config`` arguments are duck-typed against
+    :class:`~repro.core.runner.RunnerConfig`: only ``num_branches`` and
+    ``seed`` participate in trace identity (``scale`` and warmup affect
+    simulation, not the trace, and are covered by the *result* cache).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.bundle_loads = 0
+        self.bundle_writes = 0
+        self.derived_loads = 0
+        self.derived_writes = 0
+
+    # -- identity ---------------------------------------------------------
+
+    def bundle_key(
+        self, workload: str, config: object, generator_version: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Everything the trace (and its derived streams) depends on."""
+        if generator_version is None:
+            generator_version = GENERATOR_VERSION
+        spec = workload_spec(workload)
+        seed = getattr(config, "seed", None)
+        if seed is not None:
+            spec = spec.with_seed(seed)
+        return {
+            "format": ARTIFACT_FORMAT_VERSION,
+            "spec": {str(k): repr(v) for k, v in sorted(asdict(spec).items())},
+            "num_branches": int(config.num_branches),
+            "generator_version": int(generator_version),
+        }
+
+    def bundle_digest(self, workload: str, config: object) -> str:
+        return cache_digest(self.bundle_key(workload, config))
+
+    def bundle_dir(self, digest: str) -> Path:
+        return self.root / digest
+
+    def has_bundle(self, workload: str, config: object) -> bool:
+        return (self.bundle_dir(self.bundle_digest(workload, config)) / _META_NAME).is_file()
+
+    # -- load / save ------------------------------------------------------
+
+    def load_bundle(self, workload: str, config: object):
+        """Materialise a :class:`WorkloadBundle` from the store, or ``None``.
+
+        Trace columns load with ``mmap_mode="r"`` -- the bundle wraps the
+        mapped arrays directly, and the attached :class:`BundleArtifacts`
+        handle lazily maps (or writes back) derived streams.
+        """
+        from repro.core.runner import WorkloadBundle
+
+        key = self.bundle_key(workload, config)
+        directory = self.bundle_dir(cache_digest(key))
+        try:
+            meta = json.loads((directory / _META_NAME).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if meta.get("key") != json.loads(json.dumps(key)):
+            return None  # digest collision or stale layout: rebuild
+        trace = Trace(name=meta["name"], seed=meta["seed"], meta=meta["trace_meta"])
+        try:
+            for column in COLUMN_DTYPES:
+                setattr(trace, column, np.load(directory / f"{column}.npy", mmap_mode="r"))
+            ctx_values = np.load(directory / "ctx_values.npy", mmap_mode="r")
+            ctx_prefix = np.load(directory / "ctx_prefix.npy", mmap_mode="r")
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+        handle = BundleArtifacts(self, directory)
+        tensors = TraceTensors(trace, artifact_cache=handle)
+        contexts = ContextStreams(
+            tensors, ub_prefix=ctx_prefix, values=ctx_values, hash_cache=handle
+        )
+        self.bundle_loads += 1
+        return WorkloadBundle(trace=trace, tensors=tensors, contexts=contexts)
+
+    def save_bundle(self, workload: str, config: object, bundle) -> BundleArtifacts:
+        """Persist a freshly built bundle and attach write-back hooks.
+
+        Column and context arrays are written first, ``meta.json`` last
+        (its presence marks the bundle complete).  The returned handle is
+        also attached to ``bundle.tensors``/``bundle.contexts`` so any
+        derived stream computed later in this process is persisted too;
+        derived data already computed is flushed immediately.
+        """
+        key = self.bundle_key(workload, config)
+        directory = self.bundle_dir(cache_digest(key))
+        directory.mkdir(parents=True, exist_ok=True)
+        trace = bundle.trace
+        for column, dtype in COLUMN_DTYPES.items():
+            _atomic_save(directory / f"{column}.npy", np.asarray(getattr(trace, column), dtype=dtype))
+        contexts = bundle.contexts
+        _atomic_save(directory / "ctx_values.npy", np.asarray(contexts._values, dtype=np.uint64))
+        _atomic_save(directory / "ctx_prefix.npy", np.asarray(contexts.ub_prefix, dtype=np.int64))
+        meta = {
+            "key": key,
+            "name": trace.name,
+            "seed": trace.seed,
+            "trace_meta": trace.meta,
+            "num_records": len(trace),
+        }
+        _atomic_write_text(directory / _META_NAME, json.dumps(meta, indent=2, sort_keys=True))
+        self.bundle_writes += 1
+
+        handle = BundleArtifacts(self, directory)
+        tensors = bundle.tensors
+        tensors.artifact_cache = handle
+        contexts.hash_cache = handle
+        from repro.tage.streams import streams_to_matrix
+
+        for (length, width), fold in tensors._folds.items():
+            handle.store_fold(length, width, fold)
+        for stream_key, rows in tensors._streams.items():
+            handle.store_stream(
+                stream_key, streams_to_matrix(rows if isinstance(rows, list) else [rows])
+            )
+        for depth, hashes in contexts._hashes.items():
+            handle.store_context_hashes(depth, hashes)
+        return handle
+
+    # -- warming ----------------------------------------------------------
+
+    def warm(self, workloads: Iterable[str], config: object) -> int:
+        """Ensure a bundle exists for every workload; returns #built.
+
+        Building goes through trace generation (the expensive path) once
+        per missing workload; existing bundles are left untouched.
+        """
+        from repro.core.runner import Runner
+
+        built = 0
+        runner = Runner(config, artifacts=self)
+        for workload in workloads:
+            if self.has_bundle(workload, config):
+                continue
+            runner.bundle(workload)
+            runner.release(workload)
+            built += 1
+        return built
+
+    def clear(self) -> int:
+        """Drop every bundle; returns the number removed."""
+        import shutil
+
+        removed = 0
+        for directory in self.root.iterdir():
+            if (directory / _META_NAME).is_file():
+                shutil.rmtree(directory, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for d in self.root.iterdir() if (d / _META_NAME).is_file())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "bundle_loads": self.bundle_loads,
+            "bundle_writes": self.bundle_writes,
+            "derived_loads": self.derived_loads,
+            "derived_writes": self.derived_writes,
+        }

@@ -4,28 +4,208 @@ Every figure the paper reports is a matrix of (workload x predictor
 configuration) simulations; this module fans the *uncached* cells of such
 a matrix out over a :class:`concurrent.futures.ProcessPoolExecutor`.
 
-Chunking is workload-major: one task per workload, carrying every
-configuration still to simulate for it, so each worker builds the
-expensive :class:`~repro.core.runner.WorkloadBundle` (trace generation,
-folded-history tensors, context streams) exactly once and releases it
-when the chunk finishes.
+Scheduling is **cell-granular**: one task per (workload, config) cell,
+submitted longest-expected-first.  The old workload-major chunking capped
+parallelism at the number of workloads and serialized the matrix tail on
+straggler chunks (per-workload costs differ by >3x); per-cell tasks keep
+every core busy to the end.  Expected cost comes from a
+:class:`CostModel` -- trace length x configuration weight, refined by
+observed cell timings persisted alongside the result cache
+(:class:`~repro.core.results_io.TimingStore`) -- and ordering affects
+*wall-clock only*, never results.
 
-Determinism: trace generation is a pure function of ``(workload spec,
-seed, length)`` -- the :class:`~repro.core.runner.RunnerConfig` (which
-carries any seed override) is pickled to every worker explicitly -- and
-the predictors draw no ambient randomness, so parallel results are
-bit-identical to the serial path.  ``tests/test_parallel.py`` pins this.
+Workers amortise bundle construction two ways: a process-global
+:class:`~repro.core.runner.Runner` keeps the most recently used bundles
+alive across the cells a worker executes (LRU-bounded), and when an
+``artifact_dir`` is given every worker resolves bundles through the
+shared :class:`~repro.core.artifacts.ArtifactStore` -- an mmap + wrap
+whose pages all workers share -- instead of regenerating traces
+privately.
+
+Determinism: each cell's result is a pure function of ``(RunnerConfig,
+workload, config name, overrides)`` -- trace generation is seeded and the
+predictors draw no ambient randomness -- so results are bit-identical to
+the serial path regardless of scheduling order, worker count, or cost
+model.  ``tests/test_parallel.py`` pins this.
+
+The workload-major entry points (:func:`simulate_chunk`,
+:func:`run_chunks`, :func:`chunk_cells`) remain for callers that want
+one-task-per-workload batching, but :meth:`Runner.run_cells` now
+schedules cell-granular.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.results_io import TimingStore
 from repro.core.simulator import SimulationResult
 
 #: one unit of work inside a chunk: ``(config name, config overrides)``
 ChunkCell = Tuple[str, Mapping[str, object]]
+
+#: one cell-granular unit of work: ``(workload, config name, overrides)``
+Cell = Tuple[str, str, Mapping[str, object]]
+
+#: relative single-simulation cost by config-name prefix (first match
+#: wins; measured on the shipped kernels -- Opt-W replays three LLBP-X
+#: simulations).  Only scheduling order depends on these.
+CONFIG_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("llbpx_optw", 5.4),
+    ("llbpx", 1.9),
+    ("llbp", 1.6),
+    ("tsl_inf", 1.3),
+)
+
+#: static per-branch cost scale (seconds/branch at the measured ~100k
+#: branches/sec baseline rate) -- keeps static estimates in the same
+#: units as observed timings
+_SECONDS_PER_BRANCH = 1e-5
+
+#: bundles a worker process keeps alive across cells (LRU)
+MAX_WORKER_BUNDLES = 4
+
+
+def config_weight(name: str) -> float:
+    """Relative cost weight of a predictor configuration."""
+    for prefix, weight in CONFIG_WEIGHTS:
+        if name.startswith(prefix):
+            return weight
+    return 1.0
+
+
+class CostModel:
+    """Expected wall-clock of one cell, for longest-expected-first order.
+
+    The static estimate is ``trace length x configuration weight``; an
+    attached :class:`TimingStore` overrides it with the observed EMA for
+    cells that have run before (persisted alongside the result cache, so
+    estimates survive across invocations).  Estimates order the queue --
+    they never affect results.
+    """
+
+    def __init__(self, timings: Optional[TimingStore] = None) -> None:
+        self.timings = timings
+
+    def estimate(self, workload: str, name: str, num_branches: int) -> float:
+        if self.timings is not None:
+            observed = self.timings.get(workload, name)
+            if observed is not None:
+                return observed
+        return num_branches * config_weight(name) * _SECONDS_PER_BRANCH
+
+    def observe(self, workload: str, name: str, seconds: float) -> None:
+        if self.timings is not None:
+            self.timings.observe(workload, name, seconds)
+
+    def save(self) -> None:
+        if self.timings is not None:
+            self.timings.save()
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: process-global runner state: ``(key, Runner)`` reused across the cells
+#: this worker executes, so bundles survive between same-workload cells
+_WORKER_STATE: Dict[str, object] = {"key": None, "runner": None}
+
+
+def _worker_runner(config: "RunnerConfig", artifact_dir: Optional[str]):
+    """The process-global worker Runner (rebuilt when the config changes).
+
+    No disk *result* cache is attached -- the parent filters cached cells
+    before dispatch and persists worker results itself, so workers never
+    race on result files.  The artifact store, by contrast, is safe and
+    profitable to share: loads are mmap-backed and writes are atomic.
+    """
+    from repro.core.artifacts import ArtifactStore
+    from repro.core.runner import Runner
+
+    key = (config, artifact_dir)
+    if _WORKER_STATE["key"] != key:
+        artifacts = ArtifactStore(artifact_dir) if artifact_dir else None
+        _WORKER_STATE["key"] = key
+        _WORKER_STATE["runner"] = Runner(config, artifacts=artifacts)
+    return _WORKER_STATE["runner"]
+
+
+def simulate_cell(
+    config: "RunnerConfig",
+    workload: str,
+    name: str,
+    overrides: Mapping[str, object],
+    artifact_dir: Optional[str] = None,
+) -> Tuple[SimulationResult, float]:
+    """Worker entry point: simulate one cell; returns (result, seconds).
+
+    The measured seconds include any bundle build/load this cell paid
+    for, which is exactly the marginal cost the scheduler's cost model
+    wants to learn.
+    """
+    runner = _worker_runner(config, artifact_dir)
+    start = time.perf_counter()
+    result = runner.run_one(workload, name, use_cache=False, **dict(overrides))
+    seconds = time.perf_counter() - start
+    # LRU-bound the bundles this worker keeps: re-admit the current
+    # workload as most recent, then drop the oldest beyond the cap.
+    bundle_key = (workload, config.num_branches, config.seed)
+    bundle = runner._bundles.pop(bundle_key, None)
+    if bundle is not None:
+        runner._bundles[bundle_key] = bundle
+    while len(runner._bundles) > MAX_WORKER_BUNDLES:
+        runner._bundles.pop(next(iter(runner._bundles)))
+    return result, seconds
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+def run_cells_parallel(
+    config: "RunnerConfig",
+    cells: Sequence[Cell],
+    jobs: int,
+    artifact_dir: Optional[str] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Iterator[Tuple[Cell, SimulationResult]]:
+    """Fan cells out over ``jobs`` processes, longest-expected-first.
+
+    Yields ``(cell, result)`` pairs as cells complete (arbitrary order --
+    the caller re-associates), so progress reporting works while later
+    cells are still running.  Observed timings feed back into the cost
+    model (persisted on completion).  Worker exceptions propagate to the
+    caller at iteration time.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if not cells:
+        return
+    model = cost_model or CostModel()
+    ordered = sorted(
+        cells,
+        key=lambda cell: model.estimate(cell[0], cell[1], config.num_branches),
+        reverse=True,
+    )
+    max_workers = max(1, min(jobs, len(cells)))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    simulate_cell, config, workload, name, dict(overrides), artifact_dir
+                ): (workload, name, overrides)
+                for workload, name, overrides in ordered
+            }
+            for future in as_completed(futures):
+                cell = futures[future]
+                result, seconds = future.result()
+                model.observe(cell[0], cell[1], seconds)
+                yield cell, result
+    finally:
+        model.save()
+
+
+# -- legacy workload-major batching --------------------------------------------
 
 
 def simulate_chunk(
@@ -51,7 +231,7 @@ def run_chunks(
     chunks: Mapping[str, Sequence[ChunkCell]],
     jobs: int,
 ) -> Iterator[Tuple[str, List[SimulationResult]]]:
-    """Fan workload chunks out over ``jobs`` processes.
+    """Fan workload chunks out over ``jobs`` processes (legacy batching).
 
     Yields ``(workload, results)`` pairs as chunks complete (arbitrary
     order -- the caller re-associates by workload), so progress reporting

@@ -140,6 +140,73 @@ def cache_digest(key: Mapping[str, object]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
 
+# -- observed cell timings ----------------------------------------------------
+
+TIMINGS_FORMAT_VERSION = 1
+
+#: timing-store filename inside a cache directory.  Deliberately not
+#: ``*.json`` so :meth:`ResultCache.clear`/``__len__`` (which glob result
+#: entries by that pattern) never count or delete it.
+TIMINGS_FILENAME = "timings.meta"
+
+
+class TimingStore:
+    """Persisted EMA of observed per-cell wall-clock seconds.
+
+    Feeds the parallel scheduler's cost model
+    (:class:`~repro.core.parallel.CostModel`): cells that have run before
+    are ordered by how long they actually took, not by a static estimate.
+    Lives alongside the result cache (one small JSON file, atomic
+    writes); timings are advisory -- a missing, stale, or corrupt file
+    only degrades scheduling order, never results -- so any load error is
+    treated as an empty store.  ``path=None`` keeps timings in memory
+    only (still useful within one invocation).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None, alpha: float = 0.5) -> None:
+        self.path = Path(path) if path is not None else None
+        self.alpha = alpha
+        self._data: Dict[str, float] = {}
+        if self.path is not None:
+            try:
+                payload = json.loads(self.path.read_text())
+                if payload.get("version") == TIMINGS_FORMAT_VERSION:
+                    self._data = {
+                        str(k): float(v) for k, v in dict(payload.get("seconds", {})).items()
+                    }
+            except (FileNotFoundError, json.JSONDecodeError, TypeError, ValueError):
+                pass
+
+    @staticmethod
+    def key(workload: str, name: str) -> str:
+        return f"{workload}/{name}"
+
+    def get(self, workload: str, name: str) -> Optional[float]:
+        return self._data.get(self.key(workload, name))
+
+    def observe(self, workload: str, name: str, seconds: float) -> None:
+        """Blend one observation into the EMA (first observation wins whole)."""
+        key = self.key(workload, name)
+        previous = self._data.get(key)
+        if previous is None:
+            self._data[key] = float(seconds)
+        else:
+            self._data[key] = self.alpha * float(seconds) + (1.0 - self.alpha) * previous
+
+    def save(self) -> None:
+        """Persist atomically (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        payload = {"version": TIMINGS_FORMAT_VERSION, "seconds": self._data}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
 # -- the persistent cache -----------------------------------------------------
 
 

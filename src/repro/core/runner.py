@@ -19,10 +19,20 @@ paper observes this for Chirper).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.results_io import ResultCache, ResultKey, cache_digest, cache_key, result_key
+from repro.core.artifacts import ArtifactStore
+from repro.core.results_io import (
+    TIMINGS_FILENAME,
+    ResultCache,
+    ResultKey,
+    TimingStore,
+    cache_digest,
+    cache_key,
+    result_key,
+)
 from repro.core.simulator import SimulationResult, simulate
 from repro.llbp import LLBP, LLBPX, ContextStreams, llbp_default, llbpx_default
 from repro.tage import TageConfig, TageSCL, TraceTensors, preset_by_name, tsl_64k
@@ -67,28 +77,82 @@ class Runner:
     ``sim_count`` counts the simulations this runner actually performed
     (directly or via workers), so tests can assert that a warm cache
     performs zero.
+
+    ``artifacts`` optionally attaches a persistent
+    :class:`~repro.core.artifacts.ArtifactStore`: :meth:`bundle` then
+    resolves workload bundles through it -- an mmap + wrap on a hit
+    instead of a trace-generation rebuild -- and persists fresh builds
+    (plus their lazily derived streams) for every later run and for
+    sibling worker processes.  ``bundle_builds`` counts bundles this
+    runner constructed via trace generation; ``bundle_loads`` counts
+    artifact-store materialisations -- a warm store performs zero builds.
+    ``bundle_build_seconds`` / ``artifact_load_seconds`` /
+    ``sim_seconds`` accumulate the phase breakdown the throughput
+    benchmark reports.
     """
 
     def __init__(
-        self, config: Optional[RunnerConfig] = None, cache: Optional[ResultCache] = None
+        self,
+        config: Optional[RunnerConfig] = None,
+        cache: Optional[ResultCache] = None,
+        artifacts: Optional[ArtifactStore] = None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.cache = cache
+        self.artifacts = artifacts
         self.sim_count = 0
+        self.bundle_builds = 0
+        self.bundle_loads = 0
+        self.bundle_build_seconds = 0.0
+        self.artifact_load_seconds = 0.0
+        self.sim_seconds = 0.0
         self._bundles: Dict[Tuple[str, int, Optional[int]], WorkloadBundle] = {}
         self._results: Dict[ResultKey, SimulationResult] = {}
+        self._timings: Optional[TimingStore] = None
+
+    def timing_store(self) -> TimingStore:
+        """Observed-cell-timing store feeding the parallel cost model.
+
+        Persisted alongside the result cache when one is attached (or the
+        artifact store otherwise); in-memory only when neither is.
+        """
+        if self._timings is None:
+            path = None
+            if self.cache is not None:
+                path = self.cache.cache_dir / TIMINGS_FILENAME
+            elif self.artifacts is not None:
+                path = self.artifacts.root / TIMINGS_FILENAME
+            self._timings = TimingStore(path)
+        return self._timings
 
     # -- workload handling ------------------------------------------------------
 
     def bundle(self, workload: str) -> WorkloadBundle:
         key = (workload, self.config.num_branches, self.config.seed)
-        if key not in self._bundles:
-            trace = generate_workload(
-                workload, num_branches=self.config.num_branches, seed=self.config.seed
-            )
-            tensors = TraceTensors(trace)
-            self._bundles[key] = WorkloadBundle(trace, tensors, ContextStreams(tensors))
-        return self._bundles[key]
+        if key in self._bundles:
+            return self._bundles[key]
+        if self.artifacts is not None:
+            start = time.perf_counter()
+            loaded = self.artifacts.load_bundle(workload, self.config)
+            if loaded is not None:
+                self.artifact_load_seconds += time.perf_counter() - start
+                self.bundle_loads += 1
+                self._bundles[key] = loaded
+                return loaded
+        start = time.perf_counter()
+        trace = generate_workload(
+            workload, num_branches=self.config.num_branches, seed=self.config.seed
+        )
+        tensors = TraceTensors(trace)
+        bundle = WorkloadBundle(trace, tensors, ContextStreams(tensors))
+        self.bundle_builds += 1
+        if self.artifacts is not None:
+            # persists the columns now and the derived streams as they are
+            # computed (write-back hooks attach to tensors/contexts)
+            self.artifacts.save_bundle(workload, self.config, bundle)
+        self.bundle_build_seconds += time.perf_counter() - start
+        self._bundles[key] = bundle
+        return bundle
 
     def release(self, workload: str, results: bool = False) -> None:
         """Drop the cached trace/tensors of a workload (bounds memory).
@@ -193,6 +257,7 @@ class Runner:
             if cached is not None:
                 return cached
         bundle = self.bundle(workload)
+        start = time.perf_counter()
         if name == "llbpx_optw":
             result = self._run_optw(workload, bundle, **overrides)
         else:
@@ -201,6 +266,7 @@ class Runner:
                 predictor, bundle.trace, bundle.tensors, warmup_fraction=self.config.warmup_fraction
             )
             result.predictor = name
+        self.sim_seconds += time.perf_counter() - start
         self.sim_count += 1
         if use_cache:
             self._admit(workload, name, overrides, result)
@@ -235,16 +301,21 @@ class Runner:
     ) -> List[SimulationResult]:
         """Run arbitrary ``(workload, name, overrides)`` cells, cached.
 
-        Cached cells (memory or disk) are resolved up front; only the
-        remainder is simulated -- serially for ``jobs <= 1``, otherwise
-        fanned workload-major over a process pool (see
-        :mod:`repro.core.parallel`).  Results come back in cell order and
-        are bit-identical either way.  ``progress`` fires once per cell
-        as it completes (completion order under parallelism).
+        Cached cells (memory or disk) are resolved up front and duplicate
+        uncached cells are simulated once; only unique misses run --
+        serially for ``jobs <= 1``, otherwise fanned *cell-granular* over
+        a process pool, longest-expected-first (see
+        :mod:`repro.core.parallel`; workers resolve bundles through this
+        runner's artifact store when one is attached).  Results come back
+        in cell order and are bit-identical either way.  ``progress``
+        fires once per cell (completion order under parallelism).
         """
         cells = [(workload, name, dict(overrides or {})) for workload, name, overrides in cells]
         out: Dict[int, SimulationResult] = {}
-        pending: Dict[str, List[Tuple[int, str, Dict[str, object]]]] = {}
+        # unique uncached cells, in first-appearance order (dicts preserve
+        # insertion order); duplicates map to the same simulation
+        pending: Dict[ResultKey, List[int]] = {}
+        cell_of: Dict[ResultKey, Cell] = {}
         for index, (workload, name, overrides) in enumerate(cells):
             cached = self.lookup_cached(workload, name, overrides)
             if cached is not None:
@@ -252,31 +323,49 @@ class Runner:
                 if progress is not None:
                     progress(workload, name, cached)
             else:
-                pending.setdefault(workload, []).append((index, name, overrides))
+                key = result_key(workload, name, overrides)
+                pending.setdefault(key, []).append(index)
+                cell_of.setdefault(key, (workload, name, overrides))
+
+        def finish(key: ResultKey, result: SimulationResult) -> None:
+            workload, name, overrides = cell_of[key]
+            self._admit(workload, name, overrides, result)
+            for index in pending[key]:
+                out[index] = result
+                if progress is not None:
+                    progress(workload, name, result)
 
         if jobs > 1 and len(pending) > 1:
-            from repro.core.parallel import run_chunks
+            from repro.core.parallel import CostModel, run_cells_parallel
 
-            chunks = {
-                workload: [(name, overrides) for _, name, overrides in items]
-                for workload, items in pending.items()
-            }
-            for workload, results in run_chunks(self.config, chunks, jobs):
-                for (index, name, overrides), result in zip(pending[workload], results):
-                    self._admit(workload, name, overrides, result)
-                    self.sim_count += 1
-                    out[index] = result
-                    if progress is not None:
-                        progress(workload, name, result)
+            artifact_dir = str(self.artifacts.root) if self.artifacts is not None else None
+            model = CostModel(self.timing_store())
+            for (workload, name, overrides), result in run_cells_parallel(
+                self.config,
+                list(cell_of.values()),
+                jobs,
+                artifact_dir=artifact_dir,
+                cost_model=model,
+            ):
+                self.sim_count += 1
+                finish(result_key(workload, name, overrides), result)
         else:
-            for workload, items in pending.items():
-                for index, name, overrides in items:
-                    result = self.run_one(workload, name, **overrides)
-                    out[index] = result
-                    if progress is not None:
-                        progress(workload, name, result)
+            # serial: workload-major order so release_bundles bounds memory
+            by_workload: Dict[str, List[ResultKey]] = {}
+            for key in pending:
+                by_workload.setdefault(key[0], []).append(key)
+            for workload, keys in by_workload.items():
+                for key in keys:
+                    _, name, overrides = cell_of[key]
+                    started = time.perf_counter()
+                    result = self.run_one(workload, name, use_cache=False, **overrides)
+                    self.timing_store().observe(
+                        workload, name, time.perf_counter() - started
+                    )
+                    finish(key, result)
                 if release_bundles:
                     self.release(workload)
+            self.timing_store().save()
         return [out[index] for index in range(len(cells))]
 
     def run_matrix(

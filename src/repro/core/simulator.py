@@ -92,9 +92,10 @@ def simulate(
     if tensors is None:
         tensors = TraceTensors(trace)
 
-    pcs = trace.pcs
-    takens = trace.taken
-    targets = trace.targets
+    # Python-list views of the columns (cached on the trace): plain-int
+    # indexing is fastest for the per-branch loop, and numpy scalar types
+    # from array/mmap-backed traces must not leak into predictor hashing.
+    pcs, takens, targets = trace.aslists("pcs", "taken", "targets")
     n = len(pcs)
     warmup_end = int(n * warmup_fraction)
 

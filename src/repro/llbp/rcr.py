@@ -20,7 +20,7 @@ Hashing uses a polynomial rolling hash mod 2**64 finalised with
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,11 +39,17 @@ _M = (1 << 64) - 1
 CONTEXT_KINDS = (int(BranchKind.CALL), int(BranchKind.RETURN))
 
 
+def _scalar_list(values: Sequence[int]) -> List[int]:
+    """Plain-Python-int list form of a possibly array-backed sequence."""
+    if isinstance(values, list):
+        return values
+    return np.asarray(values).tolist()
+
+
 def _ub_values(tensors: TraceTensors) -> List[int]:
     """Per-context-UB identity values: site plus target (path identity)."""
     kinds = tensors.kinds
-    pcs = tensors.trace.pcs
-    targets = tensors.trace.targets
+    pcs, targets = tensors.trace.aslists("pcs", "targets")
     return [
         mix64(pcs[t] * 3 ^ targets[t])
         for t in range(tensors.num_records)
@@ -73,21 +79,47 @@ def rolling_window_hashes(values: Sequence[int], window: int) -> List[int]:
 
 
 class ContextStreams:
-    """Precomputed context-ID streams for one trace and several depths W."""
+    """Precomputed context-ID streams for one trace and several depths W.
 
-    def __init__(self, tensors: TraceTensors) -> None:
+    ``ub_prefix`` and ``values`` may be supplied preloaded (the artifact
+    store persists them as raw arrays), skipping the per-record Python
+    scan.  ``hash_cache`` optionally attaches a persistent read-through /
+    write-back store for the per-depth window hashes (duck-typed:
+    ``load_context_hashes(depth)`` / ``store_context_hashes(depth,
+    hashes)`` -- see :class:`repro.core.artifacts.BundleArtifacts`).
+    """
+
+    def __init__(
+        self,
+        tensors: TraceTensors,
+        ub_prefix: Optional[Sequence[int]] = None,
+        values: Optional[Sequence[int]] = None,
+        hash_cache: Optional[object] = None,
+    ) -> None:
         self.tensors = tensors
-        is_ub = np.isin(tensors.kinds, CONTEXT_KINDS).astype(np.int64)
-        #: number of context-forming UBs *strictly before* each record
-        self.ub_prefix: List[int] = (np.cumsum(is_ub) - is_ub).tolist()
-        self._values = _ub_values(tensors)
+        self.hash_cache = hash_cache
+        if ub_prefix is not None and values is not None:
+            #: number of context-forming UBs *strictly before* each record
+            self.ub_prefix: List[int] = _scalar_list(ub_prefix)
+            self._values = _scalar_list(values)
+        else:
+            is_ub = np.isin(tensors.kinds, CONTEXT_KINDS).astype(np.int64)
+            self.ub_prefix = (np.cumsum(is_ub) - is_ub).tolist()
+            self._values = _ub_values(tensors)
         self.num_ubs = len(self._values)
         self._hashes: Dict[int, List[int]] = {}
 
     def window_hashes(self, depth: int) -> List[int]:
         """Rolling hashes for context depth ``depth`` (cached)."""
         if depth not in self._hashes:
-            self._hashes[depth] = rolling_window_hashes(self._values, depth)
+            hashes = None
+            if self.hash_cache is not None:
+                hashes = self.hash_cache.load_context_hashes(depth)
+            if hashes is None:
+                hashes = rolling_window_hashes(self._values, depth)
+                if self.hash_cache is not None:
+                    self.hash_cache.store_context_hashes(depth, hashes)
+            self._hashes[depth] = hashes
         return self._hashes[depth]
 
     def context_of_record(self, t: int, depth: int, distance: int) -> int:

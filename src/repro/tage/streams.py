@@ -28,7 +28,7 @@ makes call paths visible to long-history pattern matching (DESIGN.md §4).
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,10 +114,18 @@ class TraceTensors:
 
     One instance is shared by every predictor configuration simulated on
     the same trace; folds are computed lazily per (length, width) pair.
+
+    ``artifact_cache`` optionally attaches a persistent read-through /
+    write-back store for the derived streams (duck-typed:
+    ``load_fold/store_fold`` and ``load_stream/store_stream`` -- see
+    :class:`repro.core.artifacts.BundleArtifacts`): folds and built
+    index/tag/bimodal streams are then loaded memory-mapped when a prior
+    run already computed them, and persisted when computed fresh.
     """
 
-    def __init__(self, trace: Trace) -> None:
+    def __init__(self, trace: Trace, artifact_cache: Optional[object] = None) -> None:
         self.trace = trace
+        self.artifact_cache = artifact_cache
         self.num_records = len(trace)
         self.bits = history_bits(trace)
         self.pcs = np.asarray(trace.pcs, dtype=np.int64)
@@ -136,7 +144,13 @@ class TraceTensors:
     def fold(self, length: int, width: int) -> np.ndarray:
         key = (length, width)
         if key not in self._folds:
-            self._folds[key] = folded_stream(self.bits, length, width)
+            cache = self.artifact_cache
+            fold = cache.load_fold(length, width) if cache is not None else None
+            if fold is None:
+                fold = folded_stream(self.bits, length, width)
+                if cache is not None:
+                    cache.store_fold(length, width, fold)
+            self._folds[key] = fold
         return self._folds[key]
 
     def release_folds(self) -> None:
@@ -178,6 +192,47 @@ def _as_array(row: np.ndarray) -> array:
     return out
 
 
+def streams_to_matrix(rows: Sequence[array]) -> np.ndarray:
+    """Serialise built stream rows to one contiguous int64 matrix.
+
+    The inverse of :func:`matrix_to_streams`; the artifact store persists
+    the matrix as a single ``.npy`` so a later run reconstructs the
+    ``array('l')`` rows with two bulk copies instead of recomputing folds
+    and hashes.
+    """
+    if rows and rows[0].itemsize == 8:
+        return np.stack([np.frombuffer(row, dtype=np.int64) for row in rows])
+    return np.asarray([row.tolist() for row in rows], dtype=np.int64)
+
+
+def matrix_to_streams(matrix: np.ndarray) -> List[array]:
+    """Rebuild per-table ``array('l')`` stream rows from a stored matrix."""
+    return [_as_array(row) for row in np.atleast_2d(matrix)]
+
+
+def _cached_stream(tensors: TraceTensors, key: Tuple) -> Optional[List[array]]:
+    """Memo-then-artifact-store lookup of a built stream."""
+    cached = tensors._streams.get(key)
+    if cached is not None:
+        return cached
+    cache = tensors.artifact_cache
+    if cache is not None:
+        matrix = cache.load_stream(key)
+        if matrix is not None:
+            rows = matrix_to_streams(matrix)
+            tensors._streams[key] = rows
+            return rows
+    return None
+
+
+def _admit_stream(tensors: TraceTensors, key: Tuple, rows: List[array]) -> List[array]:
+    """Memoise a freshly built stream and write it back to the store."""
+    tensors._streams[key] = rows
+    if tensors.artifact_cache is not None:
+        tensors.artifact_cache.store_stream(key, streams_to_matrix(rows))
+    return rows
+
+
 def build_index_streams(
     tensors: TraceTensors,
     lengths: Sequence[int],
@@ -187,7 +242,7 @@ def build_index_streams(
     if len(lengths) != len(index_bits):
         raise ValueError("lengths and index_bits must align")
     key = ("idx", tuple(lengths), tuple(index_bits))
-    cached = tensors._streams.get(key)
+    cached = _cached_stream(tensors, key)
     if cached is not None:
         return cached
     pcs = tensors.pcs >> 2
@@ -196,8 +251,7 @@ def build_index_streams(
         fold = tensors.fold(length, WIDE_INDEX_BITS)
         mixed = pcs ^ (pcs >> bits) ^ (np.int64(table + 1) * np.int64(0x9E37)) ^ fold.astype(np.int64)
         rows.append(_as_array(xor_fold(mixed, max(WIDE_INDEX_BITS, 30), bits)))
-    tensors._streams[key] = rows
-    return rows
+    return _admit_stream(tensors, key, rows)
 
 
 def build_bimodal_stream(tensors: TraceTensors, bim_mask: int) -> array:
@@ -209,12 +263,11 @@ def build_bimodal_stream(tensors: TraceTensors, bim_mask: int) -> array:
     if bim_mask < 0:
         raise ValueError(f"bim_mask must be non-negative, got {bim_mask}")
     key = ("bim", bim_mask)
-    cached = tensors._streams.get(key)
+    cached = _cached_stream(tensors, key)
     if cached is not None:
-        return cached
+        return cached[0]
     stream = _as_array((tensors.pcs >> np.int64(2)) & np.int64(bim_mask))
-    tensors._streams[key] = stream
-    return stream
+    return _admit_stream(tensors, key, [stream])[0]
 
 
 def build_tag_streams(
@@ -226,7 +279,7 @@ def build_tag_streams(
     if len(lengths) != len(tag_bits):
         raise ValueError("lengths and tag_bits must align")
     key = ("tag", tuple(lengths), tuple(tag_bits))
-    cached = tensors._streams.get(key)
+    cached = _cached_stream(tensors, key)
     if cached is not None:
         return cached
     pcs = tensors.pcs >> 2
@@ -236,5 +289,4 @@ def build_tag_streams(
         fold2 = tensors.fold(length, WIDE_TAG2_BITS).astype(np.int64)
         mixed = pcs ^ (pcs >> 5) ^ fold1 ^ (fold2 << 1)
         rows.append(_as_array(xor_fold(mixed, max(WIDE_TAG1_BITS + 1, 30), bits)))
-    tensors._streams[key] = rows
-    return rows
+    return _admit_stream(tensors, key, rows)

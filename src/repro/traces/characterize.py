@@ -39,7 +39,8 @@ class WorkloadProfile:
 
 def characterize(trace: Trace, program: Optional[Program] = None, spec: Optional[WorkloadSpec] = None) -> WorkloadProfile:
     """Compute the profile of a trace (behaviour shares need the program)."""
-    kinds = Counter(trace.kinds)
+    pcs_l, targets_l, kinds_l = trace.aslists("pcs", "targets", "kinds")
+    kinds = Counter(kinds_l)
     n = len(trace)
     cond = kinds.get(int(BranchKind.COND), 0)
 
@@ -54,7 +55,7 @@ def characterize(trace: Trace, program: Optional[Program] = None, spec: Optional
         }
         tags = Counter(
             tag_by_pc.get(pc, "loopback")
-            for pc, kind in zip(trace.pcs, trace.kinds)
+            for pc, kind in zip(pcs_l, kinds_l)
             if kind == int(BranchKind.COND)
         )
         total = sum(tags.values())
@@ -63,7 +64,7 @@ def characterize(trace: Trace, program: Optional[Program] = None, spec: Optional
     # context diversity: distinct depth-2 call/return windows per 1K UBs
     ub_stream = [
         (pc, target)
-        for pc, target, kind in zip(trace.pcs, trace.targets, trace.kinds)
+        for pc, target, kind in zip(pcs_l, targets_l, kinds_l)
         if kind in (int(BranchKind.CALL), int(BranchKind.RETURN))
     ]
     windows = {tuple(ub_stream[i : i + 2]) for i in range(len(ub_stream) - 1)}
@@ -71,7 +72,7 @@ def characterize(trace: Trace, program: Optional[Program] = None, spec: Optional
 
     instructions = trace.num_instructions
     static_cond = len(
-        {pc for pc, kind in zip(trace.pcs, trace.kinds) if kind == int(BranchKind.COND)}
+        {pc for pc, kind in zip(pcs_l, kinds_l) if kind == int(BranchKind.COND)}
     )
     return WorkloadProfile(
         name=trace.name,

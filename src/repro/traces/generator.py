@@ -106,7 +106,11 @@ class TraceGenerator:
         trace.meta["request_types"] = self.request_types
         trace.meta["static_branches"] = self.program.static_branch_count()
         self._trace = None
-        return trace
+        # Freeze the builder lists into columnar numpy: downstream tensor
+        # construction and artifact-store serialisation consume the arrays
+        # directly, and the hot loop re-materialises Python scalars once
+        # via Trace.aslists.
+        return trace.compact()
 
     # -- execution engine ----------------------------------------------------
 

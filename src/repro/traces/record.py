@@ -1,9 +1,15 @@
 """Branch trace representation.
 
 A trace is the unit of input for every simulation in this repository.  It
-is stored column-wise (parallel lists) because the simulator's inner loop
-iterates millions of records and CPython iterates parallel lists much
-faster than it constructs objects.  :meth:`Trace.records` provides a
+is stored column-wise because the simulator's inner loop iterates millions
+of records and CPython iterates flat columns much faster than it
+constructs objects.  Columns are *dual-backed*: traces under construction
+use plain Python lists (``append`` is the builder API), while traces
+loaded from disk or the artifact store keep numpy arrays -- possibly
+memory-mapped, so loading a million-branch trace touches no pages until
+they are read.  :meth:`Trace.aslists` converts any column to a cached
+Python list of scalars for the hot simulation loop, making the two
+backings bit-identical to consume.  :meth:`Trace.records` provides a
 record-at-a-time view for convenience and tests.
 """
 
@@ -11,7 +17,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, NamedTuple
+from typing import Dict, Iterator, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
 
 
 class BranchKind(enum.IntEnum):
@@ -42,18 +50,49 @@ class BranchRecord(NamedTuple):
     inst_gap: int  # non-branch instructions executed since the previous branch
 
 
-@dataclass
+#: numpy dtypes of the five trace columns (shared by io and the artifact
+#: store so every serialised form agrees)
+COLUMN_DTYPES: Dict[str, object] = {
+    "pcs": np.uint64,
+    "targets": np.uint64,
+    "kinds": np.uint8,
+    "taken": np.bool_,
+    "inst_gaps": np.uint32,
+}
+
+_COLUMN_NAMES: Tuple[str, ...] = tuple(COLUMN_DTYPES)
+
+
+def _column_list(values: Sequence) -> List:
+    """Python-list-of-scalars form of a column (either backing)."""
+    if isinstance(values, list):
+        return values
+    return np.asarray(values).tolist()
+
+
+@dataclass(eq=False)
 class Trace:
-    """A columnar dynamic branch trace plus provenance metadata."""
+    """A columnar dynamic branch trace plus provenance metadata.
+
+    Columns are Python lists while a trace is being built (``append``)
+    and may be numpy arrays -- including read-only memmaps -- once frozen
+    by :meth:`compact` or loaded from disk.  Consumers that index
+    per-record should go through :meth:`aslists` so they always see plain
+    Python scalars regardless of the backing.
+    """
 
     name: str = "unnamed"
     seed: int = 0
-    pcs: List[int] = field(default_factory=list)
-    targets: List[int] = field(default_factory=list)
-    kinds: List[int] = field(default_factory=list)
-    taken: List[bool] = field(default_factory=list)
-    inst_gaps: List[int] = field(default_factory=list)
+    pcs: Sequence[int] = field(default_factory=list)
+    targets: Sequence[int] = field(default_factory=list)
+    kinds: Sequence[int] = field(default_factory=list)
+    taken: Sequence[bool] = field(default_factory=list)
+    inst_gaps: Sequence[int] = field(default_factory=list)
     meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._list_cache: Dict[str, List] = {}
+        self._num_cond_cache: Tuple[int, int] = (-1, 0)  # (len at computation, value)
 
     def append(self, pc: int, target: int, kind: BranchKind, taken: bool, inst_gap: int) -> None:
         if inst_gap < 0:
@@ -63,6 +102,49 @@ class Trace:
         self.kinds.append(int(kind))
         self.taken.append(taken)
         self.inst_gaps.append(inst_gap)
+        self._list_cache.clear()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        if (self.name, self.seed, self.meta) != (other.name, other.seed, other.meta):
+            return False
+        return all(self.aslists(n)[0] == other.aslists(n)[0] for n in _COLUMN_NAMES)
+
+    def compact(self) -> "Trace":
+        """Freeze list columns into compact numpy arrays (in place).
+
+        Generated traces call this once construction finishes: the arrays
+        serialise to the artifact store without conversion and cost a
+        fraction of the list memory.  ``append`` is invalid afterwards.
+        Returns ``self`` for chaining.
+        """
+        for column, dtype in COLUMN_DTYPES.items():
+            values = getattr(self, column)
+            if isinstance(values, list):
+                setattr(self, column, np.asarray(values, dtype=dtype))
+        return self
+
+    def aslists(self, *names: str) -> Tuple[List, ...]:
+        """Requested columns as Python lists of plain scalars (cached).
+
+        ``trace.aslists("pcs", "taken")`` returns ``(pcs, taken)``.  For
+        list-backed columns this is the column itself; array-backed
+        columns are converted once via ``tolist`` (milliseconds for a
+        million records, versus seconds for element-wise conversion) and
+        cached.  The hot loops index these lists, so numpy scalar types
+        never leak into predictor arithmetic.
+        """
+        out = []
+        for column in names:
+            if column not in _COLUMN_NAMES:
+                raise KeyError(f"unknown trace column {column!r}")
+            cached = self._list_cache.get(column)
+            if cached is None:
+                cached = _column_list(getattr(self, column))
+                self._list_cache[column] = cached
+            out.append(cached)
+        return tuple(out)
 
     def __len__(self) -> int:
         return len(self.pcs)
@@ -73,7 +155,13 @@ class Trace:
 
     @property
     def num_conditional(self) -> int:
-        return sum(1 for kind in self.kinds if kind == BranchKind.COND)
+        """Number of conditional records (cached; invalidated by growth)."""
+        n, value = self._num_cond_cache
+        if n != len(self.kinds):
+            kinds = np.asarray(self.kinds, dtype=np.uint8)
+            value = int(np.count_nonzero(kinds == np.uint8(int(BranchKind.COND))))
+            self._num_cond_cache = (len(self.kinds), value)
+        return value
 
     @property
     def num_unconditional(self) -> int:
@@ -82,10 +170,11 @@ class Trace:
     @property
     def num_instructions(self) -> int:
         """Total instructions: every branch is itself one instruction."""
-        return sum(self.inst_gaps) + len(self.pcs)
+        return int(np.sum(np.asarray(self.inst_gaps, dtype=np.int64))) + len(self.pcs)
 
     def records(self) -> Iterator[BranchRecord]:
-        for pc, target, kind, taken, gap in zip(self.pcs, self.targets, self.kinds, self.taken, self.inst_gaps):
+        columns = self.aslists(*_COLUMN_NAMES)
+        for pc, target, kind, taken, gap in zip(*columns):
             yield BranchRecord(pc, target, BranchKind(kind), taken, gap)
 
     def slice(self, start: int, stop: int) -> "Trace":
@@ -109,21 +198,23 @@ class Trace:
         }
         if len(lengths) != 1:
             raise ValueError(f"column lengths disagree: {lengths}")
-        for i, (kind, taken) in enumerate(zip(self.kinds, self.taken)):
-            if kind != BranchKind.COND and not taken:
+        kinds, taken, gaps = self.aslists("kinds", "taken", "inst_gaps")
+        for i, (kind, is_taken) in enumerate(zip(kinds, taken)):
+            if kind != BranchKind.COND and not is_taken:
                 raise ValueError(f"record {i}: unconditional branches are always taken")
-        for i, gap in enumerate(self.inst_gaps):
+        for i, gap in enumerate(gaps):
             if gap < 0:
                 raise ValueError(f"record {i}: negative inst_gap {gap}")
 
     def statistics(self) -> Dict[str, float]:
         """Summary statistics used by tests and workload reports."""
+        pcs, kinds, taken = self.aslists("pcs", "kinds", "taken")
         n_cond = self.num_conditional
         n_taken = sum(
-            1 for kind, taken in zip(self.kinds, self.taken) if kind == BranchKind.COND and taken
+            1 for kind, is_taken in zip(kinds, taken) if kind == BranchKind.COND and is_taken
         )
-        n_static = len(set(self.pcs))
-        n_static_cond = len({pc for pc, kind in zip(self.pcs, self.kinds) if kind == BranchKind.COND})
+        n_static = len(set(pcs))
+        n_static_cond = len({pc for pc, kind in zip(pcs, kinds) if kind == BranchKind.COND})
         instructions = self.num_instructions
         return {
             "branches": float(len(self)),

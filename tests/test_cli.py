@@ -53,6 +53,15 @@ class TestParser:
         args = build_parser().parse_args(["report", "fig12"])
         assert args.jobs == 1 and args.cache_dir is None and not args.no_cache
 
+    def test_artifact_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "kafka", "--config", "llbp",
+             "--artifact-dir", "/tmp/a", "--warm-artifacts"]
+        )
+        assert args.artifact_dir == "/tmp/a" and args.warm_artifacts
+        defaults = build_parser().parse_args(["report", "fig12"])
+        assert defaults.artifact_dir is None and not defaults.warm_artifacts
+
     def test_profile_flags(self):
         args = build_parser().parse_args(
             ["run", "--workload", "kafka", "--config", "llbp", "--profile", "--profile-top", "10"]
@@ -113,6 +122,17 @@ class TestExecution:
         second = capsys.readouterr()
         assert second.out == first.out
         assert "1 hits, 0 misses" in second.err
+
+    def test_run_with_artifact_dir_reuses_bundles(self, capsys, tmp_path):
+        argv = ["run", "--workload", "kafka", "--config", "tsl_64k",
+                "--branches", "5000", "--artifact-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 bundle writes" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "(0 bundle builds" in second.err
 
     def test_run_no_cache_skips_cache(self, capsys, tmp_path):
         argv = ["run", "--workload", "kafka", "--config", "tsl_64k", "--branches",

@@ -1,11 +1,23 @@
-"""Trace (de)serialisation tests, including a property-based round-trip."""
+"""Trace (de)serialisation tests, including a property-based round-trip.
 
+Loaded traces are numpy-backed (no element-by-element list rebuild), so
+column comparisons go through ``Trace.aslists``, which normalises either
+backing to plain Python scalars.
+"""
+
+import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.traces.io import load_trace, save_trace
 from repro.traces.record import BranchKind, Trace
+
+COLUMNS = ("pcs", "targets", "kinds", "taken", "inst_gaps")
+
+
+def assert_same_columns(a: Trace, b: Trace) -> None:
+    assert a.aslists(*COLUMNS) == b.aslists(*COLUMNS)
 
 
 def test_roundtrip_basic(tmp_path):
@@ -18,10 +30,17 @@ def test_roundtrip_basic(tmp_path):
     assert loaded.name == "demo"
     assert loaded.seed == 5
     assert loaded.meta == {"workload": "demo", "n": 2}
-    assert loaded.pcs == trace.pcs
-    assert loaded.taken == trace.taken
-    assert loaded.kinds == trace.kinds
-    assert loaded.inst_gaps == trace.inst_gaps
+    assert_same_columns(loaded, trace)
+    assert loaded == trace  # Trace.__eq__ compares across backings
+
+
+def test_loaded_columns_stay_numpy(tmp_path):
+    trace = Trace(name="s")
+    trace.append(4, 8, BranchKind.JUMP, True, 0)
+    save_trace(trace, tmp_path / "t.npz")
+    loaded = load_trace(tmp_path / "t.npz")
+    for column in COLUMNS:
+        assert isinstance(getattr(loaded, column), np.ndarray)
 
 
 def test_load_appends_npz_suffix(tmp_path):
@@ -29,7 +48,18 @@ def test_load_appends_npz_suffix(tmp_path):
     trace.append(4, 8, BranchKind.JUMP, True, 0)
     save_trace(trace, tmp_path / "t")  # numpy appends .npz
     loaded = load_trace(tmp_path / "t")
-    assert loaded.pcs == [4]
+    assert loaded.aslists("pcs")[0] == [4]
+
+
+def test_load_retries_suffix_when_path_is_directory(tmp_path):
+    # a directory named like the extensionless path must not shadow the
+    # archive next to it
+    (tmp_path / "t").mkdir()
+    trace = Trace(name="s")
+    trace.append(4, 8, BranchKind.JUMP, True, 0)
+    save_trace(trace, tmp_path / "t")  # writes t.npz
+    loaded = load_trace(tmp_path / "t")
+    assert loaded.aslists("pcs")[0] == [4]
 
 
 def test_missing_file_raises(tmp_path):
@@ -58,8 +88,4 @@ def test_roundtrip_property(tmp_path, rows):
     path = tmp_path / "prop.npz"
     save_trace(trace, path)
     loaded = load_trace(path)
-    assert loaded.pcs == trace.pcs
-    assert loaded.targets == trace.targets
-    assert loaded.kinds == trace.kinds
-    assert loaded.taken == trace.taken
-    assert loaded.inst_gaps == trace.inst_gaps
+    assert_same_columns(loaded, trace)

@@ -6,10 +6,20 @@ predictor stats and extra metrics -- because trace generation and the
 predictors are deterministic functions of the pickled ``RunnerConfig``.
 """
 
+import json
+
 import pytest
 
-from repro.core import Runner, RunnerConfig
-from repro.core.parallel import chunk_cells, run_chunks, simulate_chunk
+from repro.core import ArtifactStore, ResultCache, Runner, RunnerConfig, TimingStore
+from repro.core.parallel import (
+    CostModel,
+    chunk_cells,
+    config_weight,
+    run_cells_parallel,
+    run_chunks,
+    simulate_cell,
+    simulate_chunk,
+)
 
 WORKLOADS = ("kafka", "nodeapp")
 CONFIGS = ("tsl_16k", "tsl_64k", "llbp")
@@ -82,6 +92,98 @@ class TestRunCells:
             WORKLOADS, CONFIGS, jobs=2, progress=lambda w, c, r: seen.append((w, c))
         )
         assert len(seen) == len(WORKLOADS) * len(CONFIGS)
+
+
+class TestCellGranularScheduling:
+    def test_duplicate_cells_simulate_once(self):
+        cells = [("kafka", "tsl_16k", {})] * 3 + [("nodeapp", "tsl_16k", {})]
+        runner = Runner(SMALL)
+        results = runner.run_cells(cells, jobs=2)
+        assert runner.sim_count == 2  # unique cells only
+        assert results[0] == results[1] == results[2]
+
+    def test_simulate_cell_matches_runner(self):
+        expected = Runner(SMALL).run_one("kafka", "tsl_16k")
+        result, seconds = simulate_cell(SMALL, "kafka", "tsl_16k", {})
+        assert result == expected
+        assert seconds > 0
+
+    def test_run_cells_parallel_with_artifact_store(self, tmp_path):
+        cells = [(w, c, {}) for w in WORKLOADS for c in ("tsl_16k", "llbp")]
+        expected = {
+            (w, c): Runner(SMALL).run_one(w, c) for w, c, _ in cells
+        }
+        got = dict(
+            ((w, c), r)
+            for (w, c, _), r in run_cells_parallel(
+                SMALL, cells, jobs=2, artifact_dir=str(tmp_path)
+            )
+        )
+        assert got == expected
+        # workers populated the shared store
+        assert len(ArtifactStore(tmp_path)) == len(WORKLOADS)
+
+    def test_parallel_path_uses_artifact_store_of_runner(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        runner = Runner(SMALL, artifacts=store)
+        runner.run_matrix(WORKLOADS, ("tsl_16k",), jobs=2)
+        assert len(store) == len(WORKLOADS)
+
+    def test_timings_persist_next_to_result_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(SMALL, cache=cache)
+        runner.run_matrix(WORKLOADS, ("tsl_16k",), jobs=2)
+        timings = TimingStore(tmp_path / "timings.meta")
+        assert timings.get("kafka", "tsl_16k") is not None
+        # the timing file is invisible to the result cache's entry count
+        assert len(cache) == len(WORKLOADS)
+
+
+class TestCostModel:
+    def test_config_weight_prefix_order(self):
+        assert config_weight("llbpx_optw") > config_weight("llbpx")
+        assert config_weight("llbpx") > config_weight("llbp")
+        assert config_weight("llbp") > config_weight("tsl_64k") == 1.0
+
+    def test_static_estimate_scales_with_length_and_weight(self):
+        model = CostModel()
+        assert model.estimate("kafka", "llbpx", 8000) > model.estimate("kafka", "llbp", 8000)
+        assert model.estimate("kafka", "llbp", 16000) > model.estimate("kafka", "llbp", 8000)
+
+    def test_observed_timing_overrides_static(self):
+        timings = TimingStore()
+        timings.observe("kafka", "tsl_16k", 123.0)
+        model = CostModel(timings)
+        assert model.estimate("kafka", "tsl_16k", 8000) == 123.0
+        assert model.estimate("nodeapp", "tsl_16k", 8000) < 1.0  # static fallback
+
+
+class TestTimingStore:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        store = TimingStore(path)
+        store.observe("kafka", "llbp", 2.0)
+        store.save()
+        reloaded = TimingStore(path)
+        assert reloaded.get("kafka", "llbp") == 2.0
+
+    def test_ema_blends_observations(self):
+        store = TimingStore(alpha=0.5)
+        store.observe("w", "c", 2.0)
+        store.observe("w", "c", 4.0)
+        assert store.get("w", "c") == pytest.approx(3.0)
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        path.write_text("not json {")
+        store = TimingStore(path)
+        assert len(store) == 0
+        store.observe("w", "c", 1.0)
+        store.save()
+        assert json.loads(path.read_text())["seconds"] == {"w/c": 1.0}
+
+    def test_in_memory_save_is_noop(self):
+        TimingStore().save()  # must not raise
 
 
 class TestChunking:

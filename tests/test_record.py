@@ -77,3 +77,46 @@ class TestTrace:
         stats = Trace().statistics()
         assert stats["branches"] == 0
         assert stats["taken_ratio"] == 0.0
+
+
+class TestColumnBacking:
+    """Dual list/numpy column backing: compact(), aslists(), caches."""
+
+    def test_compact_freezes_columns_to_numpy(self):
+        import numpy as np
+
+        trace = _sample_trace().compact()
+        assert isinstance(trace.pcs, np.ndarray)
+        assert trace.pcs.dtype == np.uint64
+        assert trace.aslists("pcs")[0] == [0x100, 0x104, 0x300, 0x108]
+
+    def test_aslists_returns_plain_python_ints(self):
+        trace = _sample_trace().compact()
+        (pcs,) = trace.aslists("pcs")
+        assert all(type(pc) is int for pc in pcs)
+
+    def test_aslists_is_cached(self):
+        trace = _sample_trace().compact()
+        assert trace.aslists("pcs")[0] is trace.aslists("pcs")[0]
+
+    def test_aslists_aliases_list_backed_columns(self):
+        trace = _sample_trace()
+        assert trace.aslists("pcs")[0] is trace.pcs  # no copy while building
+        trace.append(0x200, 0x300, BranchKind.COND, True, 0)
+        assert trace.aslists("pcs")[0][-1] == 0x200
+
+    def test_num_conditional_cache_tracks_appends(self):
+        trace = _sample_trace()
+        assert trace.num_conditional == 2
+        assert trace.num_conditional == 2  # cached path
+        trace.append(0x200, 0x300, BranchKind.COND, True, 0)
+        assert trace.num_conditional == 3  # length change invalidates
+
+    def test_equality_across_backings(self):
+        assert _sample_trace() == _sample_trace().compact()
+
+    def test_compact_preserves_semantics(self):
+        plain, compacted = _sample_trace(), _sample_trace().compact()
+        compacted.validate()
+        assert compacted.statistics() == plain.statistics()
+        assert list(compacted.records()) == list(plain.records())

@@ -19,8 +19,11 @@ GOLDEN_TRACE_HASHES = {
 
 
 def trace_digest(trace) -> str:
+    # aslists normalises list- and array-backed columns to the identical
+    # Python-scalar form, so these hashes are invariant to the backing
+    # (they pinned list columns before traces became numpy-backed).
     h = hashlib.sha256()
-    h.update(bytes(str((trace.pcs, trace.taken, trace.kinds, trace.targets)), "utf8"))
+    h.update(bytes(str(trace.aslists("pcs", "taken", "kinds", "targets")), "utf8"))
     return h.hexdigest()[:16]
 
 
