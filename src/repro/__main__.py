@@ -23,15 +23,32 @@ workload's bundle up front.
 ``--profile`` wraps the whole command in :mod:`cProfile` and prints the
 top functions by cumulative time to stderr (``--profile-top`` controls
 how many) -- the standard first step when chasing a hot-path regression.
+
+Fault tolerance: parallel matrices retry crashed/failed cells
+(``--retries``, default 3), optionally bound each cell's wall-clock
+(``--cell-timeout SECONDS``), and recover from worker-pool deaths by
+rebuilding the pool -- results stay bit-identical because every cell is
+a pure function of its key.  Every run prints a one-line ``run report:
+... retries=N ... quarantined=N`` summary to stderr; ``--report PATH``
+writes the full per-cell report (attempts, retries, failures, timings,
+cache/artifact health) as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
-from repro.core import ArtifactStore, ResultCache, Runner, RunnerConfig, reduction
+from repro.core import (
+    ArtifactStore,
+    ResultCache,
+    RetryPolicy,
+    Runner,
+    RunnerConfig,
+    reduction,
+)
 from repro.traces.workloads import WORKLOAD_NAMES
 
 KNOWN_CONFIGS = (
@@ -52,10 +69,15 @@ def _make_runner(args: argparse.Namespace) -> Runner:
     artifacts = None
     if getattr(args, "artifact_dir", None):
         artifacts = ArtifactStore(args.artifact_dir)
+    policy = RetryPolicy(
+        retries=getattr(args, "retries", RetryPolicy.retries),
+        timeout=getattr(args, "cell_timeout", None),
+    )
     runner = Runner(
         RunnerConfig(scale=args.scale, num_branches=args.branches),
         cache=cache,
         artifacts=artifacts,
+        retry_policy=policy,
     )
     if artifacts is not None and getattr(args, "warm_artifacts", False):
         built = artifacts.warm(WORKLOAD_NAMES, runner.config)
@@ -99,6 +121,18 @@ def _print_cache_stats(runner: Runner) -> None:
         )
 
 
+def _finish_run(args: argparse.Namespace, runner: Runner) -> None:
+    """End-of-run reporting: summary line, cache stats, ``--report`` JSON."""
+    print(runner.report.summary(runner), file=sys.stderr)
+    _print_cache_stats(runner)
+    report_path = getattr(args, "report", None)
+    if report_path:
+        with open(report_path, "w") as handle:
+            json.dump(runner.report.to_dict(runner), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"run report written to {report_path}", file=sys.stderr)
+
+
 def _workload_list(value: str) -> List[str]:
     names = [name.strip() for name in value.split(",") if name.strip()]
     for name in names:
@@ -138,7 +172,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 line += f"  ({reduction(baseline, result):+5.1f}% vs {baseline.predictor})"
             print(line)
         runner.release(workload)
-    _print_cache_stats(runner)
+    _finish_run(args, runner)
     return 0
 
 
@@ -193,7 +227,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
     else:  # pragma: no cover - argparse choices guard this
         raise SystemExit(f"unknown report {name!r}")
-    _print_cache_stats(runner)
+    _finish_run(args, runner)
     return 0
 
 
@@ -225,6 +259,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-artifacts", action="store_true",
         help="with --artifact-dir: pre-build the bundle of every known workload "
         "before running, so the run itself performs zero trace generations",
+    )
+    common.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="re-executions a failed cell (worker crash, exception, timeout) may "
+        "consume before the run aborts (default: 3; results stay bit-identical)",
+    )
+    common.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock bound; a cell exceeding it is killed (pool "
+        "rebuild) and retried (default: off)",
+    )
+    common.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the structured run report (per-cell attempts/retries/failures, "
+        "timings, cache and artifact health) as JSON to PATH",
     )
     common.add_argument(
         "--profile", action="store_true",

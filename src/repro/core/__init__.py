@@ -8,7 +8,10 @@ from repro.core.analysis import (
     useful_by_depth,
 )
 from repro.core.artifacts import ARTIFACT_FORMAT_VERSION, ArtifactStore, BundleArtifacts
+from repro.core.faults import FaultError, FaultInjector, active_injector, parse_fault_spec
 from repro.core.limit_study import LIMIT_STEPS, LimitStep, cumulative_overrides, run_limit_study
+from repro.core.parallel import CellExecutionError, RetryPolicy
+from repro.core.run_report import CellReport, RunReport
 from repro.core.runner import (
     DEFAULT_BRANCHES,
     DEFAULT_SCALE,
@@ -38,19 +41,26 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactStore",
     "BundleArtifacts",
+    "CellExecutionError",
+    "CellReport",
     "ComparisonRow",
     "ContextProfile",
     "DEFAULT_BRANCHES",
     "DEFAULT_SCALE",
+    "FaultError",
+    "FaultInjector",
     "LIMIT_STEPS",
     "LimitStep",
     "Predictor",
     "ResultCache",
+    "RetryPolicy",
+    "RunReport",
     "Runner",
     "RunnerConfig",
     "SimulationResult",
     "TimingStore",
     "WorkloadBundle",
+    "active_injector",
     "cache_digest",
     "cache_key",
     "comparison_table",
@@ -61,6 +71,7 @@ __all__ = [
     "freeze_overrides",
     "geometric_mean_mpki",
     "load_results",
+    "parse_fault_spec",
     "reduction",
     "result_from_dict",
     "result_key",

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.faults import stale_temp
 from repro.core.results_io import cache_digest
 from repro.llbp.rcr import ContextStreams
 from repro.tage.streams import TraceTensors
@@ -129,6 +130,33 @@ class ArtifactStore:
         self.bundle_writes = 0
         self.derived_loads = 0
         self.derived_writes = 0
+        self.quarantined = 0
+        self.temps_swept = 0
+        self._sweep_temps()
+
+    def _sweep_temps(self) -> int:
+        """Remove atomic-writer temps orphaned by dead processes.
+
+        Temp names embed the writer's pid (``.{name}.{pid}.{uuid}.tmp``
+        or ``....tmp.npy``); temps of live pids are left alone -- their
+        writer may still rename them into place.
+        """
+        removed = 0
+        for pattern in (".*.tmp", ".*.tmp.npy"):
+            for tmp in self.root.rglob(pattern):
+                parts = tmp.name.split(".")
+                if parts[-1] == "npy":
+                    parts = parts[:-1]
+                # [..., pid, uuid, "tmp"] after stripping a trailing npy
+                pid_text = parts[-3] if len(parts) >= 3 else ""
+                if stale_temp(tmp, pid_text):
+                    try:
+                        tmp.unlink()
+                        removed += 1
+                    except FileNotFoundError:  # pragma: no cover - raced
+                        pass
+        self.temps_swept += removed
+        return removed
 
     # -- identity ---------------------------------------------------------
 
@@ -155,6 +183,19 @@ class ArtifactStore:
     def bundle_dir(self, digest: str) -> Path:
         return self.root / digest
 
+    def _quarantine_meta(self, meta_path: Path) -> None:
+        """Rename a damaged ``meta.json`` out of the way.
+
+        Without its meta the bundle reads as absent, so the next
+        :meth:`load_bundle` miss triggers regeneration -- which rewrites
+        every column and a fresh meta over the old directory.
+        """
+        try:
+            os.replace(meta_path, meta_path.with_name(f"{_META_NAME}.corrupt"))
+        except OSError:  # pragma: no cover - raced unlink/rename
+            return
+        self.quarantined += 1
+
     def has_bundle(self, workload: str, config: object) -> bool:
         return (self.bundle_dir(self.bundle_digest(workload, config)) / _META_NAME).is_file()
 
@@ -171,13 +212,23 @@ class ArtifactStore:
 
         key = self.bundle_key(workload, config)
         directory = self.bundle_dir(cache_digest(key))
+        meta_path = directory / _META_NAME
         try:
-            meta = json.loads((directory / _META_NAME).read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            meta = json.loads(meta_path.read_text())
+        except FileNotFoundError:
             return None
-        if meta.get("key") != json.loads(json.dumps(key)):
-            return None  # digest collision or stale layout: rebuild
-        trace = Trace(name=meta["name"], seed=meta["seed"], meta=meta["trace_meta"])
+        except (json.JSONDecodeError, OSError):
+            self._quarantine_meta(meta_path)
+            return None
+        try:
+            if meta.get("key") != json.loads(json.dumps(key)):
+                return None  # digest collision or stale layout: rebuild
+            trace = Trace(name=meta["name"], seed=meta["seed"], meta=meta["trace_meta"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # schema-invalid meta (e.g. a torn write on a non-atomic
+            # filesystem): quarantine so the bundle regenerates cleanly
+            self._quarantine_meta(meta_path)
+            return None
         try:
             for column in COLUMN_DTYPES:
                 setattr(trace, column, np.load(directory / f"{column}.npy", mmap_mode="r"))
@@ -258,14 +309,24 @@ class ArtifactStore:
         return built
 
     def clear(self) -> int:
-        """Drop every bundle; returns the number removed."""
+        """Drop every bundle; returns the number removed.
+
+        Directories whose meta was quarantined count too (they are
+        damaged bundles, not foreign data), and stale writer temps are
+        swept.
+        """
         import shutil
 
         removed = 0
         for directory in self.root.iterdir():
-            if (directory / _META_NAME).is_file():
+            if not directory.is_dir():
+                continue
+            if (directory / _META_NAME).is_file() or (
+                directory / f"{_META_NAME}.corrupt"
+            ).is_file():
                 shutil.rmtree(directory, ignore_errors=True)
                 removed += 1
+        self._sweep_temps()
         return removed
 
     def __len__(self) -> int:
@@ -277,4 +338,6 @@ class ArtifactStore:
             "bundle_writes": self.bundle_writes,
             "derived_loads": self.derived_loads,
             "derived_writes": self.derived_writes,
+            "quarantined": self.quarantined,
+            "temps_swept": self.temps_swept,
         }

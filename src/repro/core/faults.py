@@ -1,0 +1,273 @@
+"""Deterministic fault injection for the fault-tolerance layer.
+
+Crash-recovery code is only trustworthy if its failure paths run in CI,
+so this module turns the interesting failure modes -- a worker process
+dying mid-cell (OOM kill), a cell hanging, a cache entry written corrupt
+-- into *reproducible* events driven by the ``REPRO_FAULT_SPEC``
+environment variable.  The injector is consulted by
+:func:`~repro.core.parallel.simulate_cell` (crash / raise / hang kinds)
+and by :meth:`~repro.core.results_io.ResultCache.put` (corrupt-write
+kind); with the variable unset every hook is a cheap no-op.
+
+Spec grammar (clauses separated by ``;``)::
+
+    spec    := clause (';' clause)*
+    clause  := 'ledger=' PATH
+             | kind ':' workload '/' config [':' count [':' seconds]]
+    kind    := 'crash' | 'raise' | 'hang' | 'corrupt'
+
+``workload`` / ``config`` accept ``*`` as a wildcard; ``count`` (default
+1) is how many invocations of each matching cell fault before the fault
+burns out; ``seconds`` (hang only, default 3600) is the hang duration.
+
+Example -- crash the kafka/tsl_64k worker once, then let its retry
+succeed, with cross-process attempt accounting under ``/tmp/ledger``::
+
+    REPRO_FAULT_SPEC="ledger=/tmp/ledger;crash:kafka/tsl_64k:1"
+
+Fault *kinds*:
+
+* ``crash`` -- ``os._exit`` in a worker process (the executor observes a
+  ``BrokenProcessPool``, exactly like an OOM kill).  In-process callers
+  (serial fallback) degrade it to a raised :class:`FaultError`.
+* ``raise`` -- raise :class:`FaultError` (a picklable exception the pool
+  transports back; the pool itself stays healthy).
+* ``hang`` -- sleep for ``seconds`` (trips the per-cell timeout).
+* ``corrupt`` -- the next result-cache write for the cell produces a
+  well-formed JSON entry with the right version but no ``result`` field
+  (the signature of a truncated-then-completed write), exercising the
+  cache's quarantine path.
+
+Determinism: each (kind, workload, config) fault has a *count*, and
+invocation slots are claimed first-come.  Worker processes cannot share
+in-memory counters, so a ``ledger=DIR`` clause switches accounting to
+atomic ``O_CREAT | O_EXCL`` marker files under ``DIR`` -- a crashed
+worker's claim survives its death, which is precisely what makes
+"crash exactly once, then succeed on retry" expressible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: environment variable holding the fault spec
+ENV_VAR = "REPRO_FAULT_SPEC"
+
+#: exit status an injected worker crash dies with (any non-zero works --
+#: the executor reports every abrupt death as BrokenProcessPool)
+CRASH_EXIT_CODE = 70
+
+_FAULT_KINDS = ("crash", "raise", "hang", "corrupt")
+
+#: default hang duration (seconds); real runs kill the worker long before
+_DEFAULT_HANG_SECONDS = 3600.0
+
+
+class FaultError(RuntimeError):
+    """An injected failure (also what ``crash`` degrades to in-process)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed spec clause: fault ``kind`` for matching cells."""
+
+    kind: str
+    workload: str
+    config: str
+    count: int = 1
+    seconds: float = _DEFAULT_HANG_SECONDS
+
+    def matches(self, workload: str, config: str) -> bool:
+        return self.workload in ("*", workload) and self.config in ("*", config)
+
+
+def parse_fault_spec(spec: str) -> Tuple[List[FaultRule], Optional[Path]]:
+    """Parse a ``REPRO_FAULT_SPEC`` string into rules plus a ledger path.
+
+    Raises :class:`ValueError` on malformed clauses -- a typo'd fault
+    spec silently injecting nothing would make a fault-tolerance test
+    pass vacuously.
+    """
+    rules: List[FaultRule] = []
+    ledger: Optional[Path] = None
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("ledger="):
+            ledger = Path(clause[len("ledger="):]).expanduser()
+            continue
+        parts = clause.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(f"malformed fault clause {clause!r}")
+        kind, cell = parts[0].strip(), parts[1].strip()
+        if kind not in _FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} in {clause!r}")
+        if "/" not in cell:
+            raise ValueError(f"fault cell must be workload/config, got {cell!r}")
+        workload, config = (piece.strip() for piece in cell.split("/", 1))
+        if not workload or not config:
+            raise ValueError(f"fault cell must be workload/config, got {cell!r}")
+        count = 1
+        seconds = _DEFAULT_HANG_SECONDS
+        try:
+            if len(parts) >= 3:
+                count = int(parts[2])
+            if len(parts) == 4:
+                seconds = float(parts[3])
+        except ValueError as exc:
+            raise ValueError(f"malformed fault clause {clause!r}") from exc
+        if count < 0:
+            raise ValueError(f"fault count must be >= 0 in {clause!r}")
+        rules.append(FaultRule(kind, workload, config, count, seconds))
+    return rules, ledger
+
+
+class FaultInjector:
+    """Fires the parsed fault rules, claiming invocation slots in order.
+
+    Slot accounting is in-memory by default (fine for single-process
+    tests); with a ledger directory it is shared across processes via
+    atomic marker-file creation, so a claim made just before ``os._exit``
+    is visible to the retry in a fresh worker.
+    """
+
+    def __init__(
+        self, rules: Sequence[FaultRule], ledger: Optional[Union[str, Path]] = None
+    ) -> None:
+        self.rules = list(rules)
+        self.ledger = Path(ledger).expanduser() if ledger is not None else None
+        self._local: Dict[str, int] = {}
+        if self.ledger is not None:
+            self.ledger.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str]) -> Optional["FaultInjector"]:
+        """Build an injector from a spec string (``None`` if it is empty)."""
+        if not spec or not spec.strip():
+            return None
+        rules, ledger = parse_fault_spec(spec)
+        if not rules:
+            return None
+        return cls(rules, ledger)
+
+    # -- slot accounting ----------------------------------------------------
+
+    def _claim(self, rule: FaultRule, workload: str, config: str) -> bool:
+        """Claim the next invocation slot; True if that slot should fault.
+
+        The token names the *actual* cell, not the rule's (possibly
+        wildcard) pattern, so a ``*`` rule faults each matching cell
+        ``count`` times rather than sharing one budget.
+        """
+        token = f"{rule.kind}-{workload}-{config}".replace("/", "_").replace("*", "ANY")
+        if self.ledger is None:
+            slot = self._local.get(token, 0)
+            self._local[token] = slot + 1
+        else:
+            slot = 0
+            while True:
+                try:
+                    fd = os.open(
+                        self.ledger / f"{token}.{slot}",
+                        os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    )
+                    os.close(fd)
+                    break
+                except FileExistsError:
+                    slot += 1
+        return slot < rule.count
+
+    # -- firing -------------------------------------------------------------
+
+    def fire(self, workload: str, config: str, in_worker: bool = True) -> None:
+        """Fire any crash/raise/hang rule matching this cell execution.
+
+        ``in_worker=False`` (the in-process serial-fallback path) degrades
+        ``crash`` to a raised :class:`FaultError` -- exiting would kill
+        the parent, which is the opposite of what a fallback is for.
+        """
+        for rule in self.rules:
+            if rule.kind not in ("crash", "raise", "hang"):
+                continue
+            if not rule.matches(workload, config):
+                continue
+            if not self._claim(rule, workload, config):
+                continue
+            if rule.kind == "hang":
+                deadline = time.monotonic() + rule.seconds
+                while True:  # sleep in slices so SIGTERM lands promptly
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    time.sleep(min(0.2, remaining))
+                return
+            if rule.kind == "crash" and in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            raise FaultError(f"injected {rule.kind} for {workload}/{config}")
+
+    def should_corrupt(self, workload: str, config: str) -> bool:
+        """Whether the next cache write for this cell should be corrupted."""
+        for rule in self.rules:
+            if rule.kind != "corrupt":
+                continue
+            if rule.matches(workload, config) and self._claim(rule, workload, config):
+                return True
+        return False
+
+
+#: per-process injector cache, keyed by the spec string it was built from
+#: (workers forked mid-run re-read their inherited environment lazily)
+_ACTIVE: Dict[str, object] = {"spec": None, "injector": None}
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The process-wide injector for the current ``REPRO_FAULT_SPEC``.
+
+    Returns ``None`` (the fast path) when the variable is unset or empty.
+    Re-parses only when the variable's value changes, so hooks on hot
+    paths pay one dict lookup and a string compare.
+    """
+    spec = os.environ.get(ENV_VAR, "")
+    if _ACTIVE["spec"] != spec:
+        _ACTIVE["spec"] = spec
+        _ACTIVE["injector"] = FaultInjector.from_spec(spec)
+    return _ACTIVE["injector"]
+
+
+# -- stale-temp hygiene --------------------------------------------------------
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - out-of-range pid etc.
+        return False
+    return True
+
+
+def stale_temp(path: Path, pid_text: str) -> bool:
+    """Whether a writer temp file is an orphan of a dead process.
+
+    ``pid_text`` is the pid component of the temp filename; an
+    unparseable component means a foreign/damaged name -- treat as stale
+    rather than accumulate it forever.  Files of live pids are left
+    alone: their writer may still ``os.replace`` them.
+    """
+    del path  # identity lives in the name; content is irrelevant
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return True
+    return not pid_alive(pid)

@@ -28,6 +28,20 @@ predictors draw no ambient randomness -- so results are bit-identical to
 the serial path regardless of scheduling order, worker count, or cost
 model.  ``tests/test_parallel.py`` pins this.
 
+Fault tolerance: campaign-scale matrices must survive partial failure,
+so :func:`run_cells_parallel` wraps every cell in a retry loop (capped
+exponential backoff), optionally bounds each cell's wall-clock with a
+per-cell timeout, recovers from ``BrokenProcessPool`` (a worker OOM-kill
+takes down the whole stdlib pool) by rebuilding the pool and re-queueing
+the in-flight cells, and degrades to in-process serial execution after
+repeated consecutive pool failures.  None of this can affect results:
+cells are pure functions of their key, so a retried cell reproduces its
+result bit-identically (``tests/test_faults.py`` pins this under
+injected crashes).  On an *unrecoverable* error (retry budget exhausted)
+the pool is shut down with ``cancel_futures=True`` before the exception
+propagates, so a failed matrix -- or a Ctrl-C -- never hangs on its
+tail of pending futures.
+
 The workload-major entry points (:func:`simulate_chunk`,
 :func:`run_chunks`, :func:`chunk_cells`) remain for callers that want
 one-task-per-workload batching, but :meth:`Runner.run_cells` now
@@ -37,9 +51,19 @@ schedules cell-granular.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.faults import active_injector
 from repro.core.results_io import TimingStore
 from repro.core.simulator import SimulationResult
 
@@ -66,6 +90,66 @@ _SECONDS_PER_BRANCH = 1e-5
 
 #: bundles a worker process keeps alive across cells (LRU)
 MAX_WORKER_BUNDLES = 4
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance knobs for one matrix execution.
+
+    ``retries`` is the number of *re*-executions a single cell may
+    consume for its own failures (crash, raised exception, timeout)
+    before the run gives up; ``backoff`` / ``backoff_cap`` shape the
+    capped exponential delay before a failed cell re-enters the queue.
+    ``timeout`` (seconds, ``None`` = off) bounds one cell execution --
+    exceeding it kills the pool (stdlib workers cannot be cancelled
+    mid-task) and charges the overdue cell.  After
+    ``pool_failure_limit`` *consecutive* ``BrokenProcessPool`` incidents
+    the run degrades to in-process serial execution, on the theory that
+    a pool that keeps dying (e.g. the machine is out of memory for
+    worker processes) is worse than no pool.
+    """
+
+    retries: int = 3
+    backoff: float = 0.1
+    backoff_cap: float = 5.0
+    timeout: Optional[float] = None
+    pool_failure_limit: int = 3
+
+
+class CellExecutionError(RuntimeError):
+    """A cell exhausted its retry budget; the matrix cannot complete."""
+
+    def __init__(self, cell: Cell, kind: str, detail: str, attempts: int) -> None:
+        self.cell = cell
+        self.kind = kind
+        self.detail = detail
+        self.attempts = attempts
+        super().__init__(
+            f"cell {cell[0]}/{cell[1]} failed ({kind}) after {attempts} attempts: {detail}"
+        )
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool = False) -> None:
+    """Shut a pool down without waiting; cancel queued work.
+
+    ``kill`` also terminates the worker processes -- required when a
+    worker is wedged on a hung cell (``shutdown`` alone would block
+    process exit on the stuck task).
+    """
+    # snapshot the workers first: shutdown() drops the _processes dict
+    # even with wait=False, and a wedged worker left unterminated keeps
+    # the interpreter's atexit join blocked until its cell finishes
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - teardown of a broken pool
+        pass
+    if kill:
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
 
 
 def config_weight(name: str) -> float:
@@ -137,13 +221,20 @@ def simulate_cell(
     name: str,
     overrides: Mapping[str, object],
     artifact_dir: Optional[str] = None,
+    in_worker: bool = True,
 ) -> Tuple[SimulationResult, float]:
     """Worker entry point: simulate one cell; returns (result, seconds).
 
     The measured seconds include any bundle build/load this cell paid
     for, which is exactly the marginal cost the scheduler's cost model
-    wants to learn.
+    wants to learn.  Consults the fault injector (``REPRO_FAULT_SPEC``)
+    first, so injected crashes/hangs land exactly where real ones do --
+    inside a cell execution; ``in_worker=False`` (the serial-fallback
+    path) keeps injected crashes from taking out the parent process.
     """
+    injector = active_injector()
+    if injector is not None:
+        injector.fire(workload, name, in_worker=in_worker)
     runner = _worker_runner(config, artifact_dir)
     start = time.perf_counter()
     result = runner.run_one(workload, name, use_cache=False, **dict(overrides))
@@ -168,40 +259,225 @@ def run_cells_parallel(
     jobs: int,
     artifact_dir: Optional[str] = None,
     cost_model: Optional[CostModel] = None,
+    policy: Optional[RetryPolicy] = None,
+    report=None,
 ) -> Iterator[Tuple[Cell, SimulationResult]]:
     """Fan cells out over ``jobs`` processes, longest-expected-first.
 
     Yields ``(cell, result)`` pairs as cells complete (arbitrary order --
     the caller re-associates), so progress reporting works while later
     cells are still running.  Observed timings feed back into the cost
-    model (persisted on completion).  Worker exceptions propagate to the
-    caller at iteration time.
+    model (persisted on completion).
+
+    Execution is fault-tolerant per ``policy`` (see :class:`RetryPolicy`):
+
+    * a worker **exception** charges the cell and re-queues it after a
+      capped exponential backoff;
+    * a **pool break** (worker process died -- OOM kill, segfault,
+      injected crash) charges every in-flight cell (the stdlib gives no
+      finer attribution), rebuilds the pool, and re-queues them; after
+      ``pool_failure_limit`` consecutive breaks the remaining cells run
+      in-process (serial fallback);
+    * a **timeout** (when ``policy.timeout`` is set) charges only the
+      overdue cell; other in-flight cells are re-queued as
+      *interruptions* that do not consume their retry budget (the pool
+      must be killed to reclaim the wedged worker).
+
+    A cell whose retry budget is exhausted raises
+    :class:`CellExecutionError`; the pool is torn down with
+    ``cancel_futures=True`` first, so neither an error nor a caller
+    abandoning the iterator leaves pending futures running.  Retries
+    cannot change results: every cell is a pure function of its key.
+    ``report`` (a :class:`~repro.core.run_report.RunReport`) receives
+    per-cell attempt/failure/success records when provided.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if not cells:
         return
+    policy = policy or RetryPolicy()
     model = cost_model or CostModel()
-    ordered = sorted(
+    ordered: List[Cell] = sorted(
         cells,
         key=lambda cell: model.estimate(cell[0], cell[1], config.num_branches),
         reverse=True,
     )
-    max_workers = max(1, min(jobs, len(cells)))
+    max_workers = max(1, min(jobs, len(ordered)))
+    attempts = [0] * len(ordered)
+    #: (cell index, earliest re-dispatch time) -- backoff lives here
+    pending: Deque[Tuple[int, float]] = deque((i, 0.0) for i in range(len(ordered)))
+    inflight: Dict[Future, Tuple[int, Optional[float]]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    consecutive_breaks = 0
+    fallback = False
+
+    def charge(index: int, kind: str, detail: str) -> None:
+        """Record a failure of the cell's own making; re-queue or give up."""
+        workload, name, overrides = ordered[index]
+        if report is not None:
+            report.record_failure(workload, name, overrides, kind, detail)
+        if attempts[index] > policy.retries:
+            raise CellExecutionError(ordered[index], kind, detail, attempts[index])
+        delay = min(policy.backoff_cap, policy.backoff * (2 ** max(0, attempts[index] - 1)))
+        pending.append((index, time.monotonic() + max(0.0, delay)))
+
+    def interrupt(index: int) -> None:
+        """Re-queue an innocent in-flight cell without charging it."""
+        attempts[index] -= 1  # the killed execution does not count
+        workload, name, overrides = ordered[index]
+        if report is not None:
+            report.record_interruption(workload, name, overrides)
+        pending.append((index, 0.0))
+
+    def handle_break(detail: str) -> None:
+        """A worker died: charge in-flight cells, drop the pool."""
+        nonlocal pool, consecutive_breaks, fallback
+        consecutive_breaks += 1
+        if report is not None:
+            report.pool_rebuilds += 1
+        indices = [index for index, _ in inflight.values()]
+        inflight.clear()
+        if pool is not None:
+            _shutdown_pool(pool, kill=True)
+            pool = None
+        for index in indices:
+            charge(index, "pool-break", detail)
+        if consecutive_breaks >= policy.pool_failure_limit:
+            fallback = True
+            if report is not None:
+                report.serial_fallback = True
+
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(
-                    simulate_cell, config, workload, name, dict(overrides), artifact_dir
-                ): (workload, name, overrides)
-                for workload, name, overrides in ordered
-            }
-            for future in as_completed(futures):
-                cell = futures[future]
-                result, seconds = future.result()
-                model.observe(cell[0], cell[1], seconds)
-                yield cell, result
+        while pending or inflight:
+            if fallback:
+                # graceful degradation: finish the matrix in-process.
+                # Injected crashes raise here instead of exiting (see
+                # simulate_cell), so the retry accounting still applies.
+                index, not_before = pending.popleft()
+                delay = not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                workload, name, overrides = ordered[index]
+                attempts[index] += 1
+                if report is not None:
+                    report.record_attempt(workload, name, overrides)
+                try:
+                    result, seconds = simulate_cell(
+                        config, workload, name, dict(overrides), artifact_dir, in_worker=False
+                    )
+                except Exception as exc:
+                    charge(index, "exception", repr(exc))
+                    continue
+                model.observe(workload, name, seconds)
+                if report is not None:
+                    report.record_success(workload, name, overrides, seconds)
+                yield ordered[index], result
+                continue
+
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+
+            # submit at most one task per worker so a submitted task is
+            # (almost) immediately a *running* task -- that keeps the
+            # per-cell deadline honest and pool-break attribution tight
+            submit_broke: Optional[str] = None
+            while pending and len(inflight) < max_workers:
+                now = time.monotonic()
+                ready = None
+                for position, (index, not_before) in enumerate(pending):
+                    if not_before <= now:
+                        ready = position
+                        break
+                if ready is None:
+                    if inflight:
+                        break  # completions will wake us before the backoff ends
+                    soonest = min(not_before for _, not_before in pending)
+                    time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+                index, _ = pending[ready]
+                del pending[ready]
+                workload, name, overrides = ordered[index]
+                try:
+                    future = pool.submit(
+                        simulate_cell, config, workload, name, dict(overrides), artifact_dir
+                    )
+                except BrokenProcessPool as exc:  # pool died between rounds
+                    pending.appendleft((index, 0.0))
+                    submit_broke = str(exc) or "BrokenProcessPool"
+                    break
+                attempts[index] += 1
+                if report is not None:
+                    report.record_attempt(workload, name, overrides)
+                deadline = now + policy.timeout if policy.timeout is not None else None
+                inflight[future] = (index, deadline)
+            if submit_broke is not None:
+                handle_break(submit_broke)
+                continue
+            if not inflight:
+                continue
+
+            wait_timeout: Optional[float] = None
+            now = time.monotonic()
+            deadlines = [dl for _, dl in inflight.values() if dl is not None]
+            if deadlines:
+                wait_timeout = max(0.01, min(deadlines) - now)
+            if pending and len(inflight) < max_workers:
+                soonest = min(not_before for _, not_before in pending)
+                if soonest > now:
+                    backoff_wake = max(0.01, soonest - now)
+                    wait_timeout = (
+                        backoff_wake if wait_timeout is None else min(wait_timeout, backoff_wake)
+                    )
+            done, _ = wait(set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+            broke: Optional[str] = None
+            for future in done:
+                index, _ = inflight.pop(future)
+                workload, name, overrides = ordered[index]
+                try:
+                    result, seconds = future.result()
+                except BrokenProcessPool as exc:
+                    # every in-flight future of a broken pool raises this;
+                    # charge this one now, handle_break charges the rest
+                    broke = str(exc) or "BrokenProcessPool"
+                    charge(index, "pool-break", broke)
+                except Exception as exc:
+                    charge(index, "exception", repr(exc))
+                else:
+                    consecutive_breaks = 0
+                    model.observe(workload, name, seconds)
+                    if report is not None:
+                        report.record_success(workload, name, overrides, seconds)
+                    yield ordered[index], result
+            if broke is not None:
+                handle_break(broke)
+                continue
+
+            if policy.timeout is not None:
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, (_, deadline) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if overdue:
+                    # a wedged worker can only be reclaimed by killing
+                    # the pool; innocent in-flight cells are re-queued
+                    # without being charged
+                    if report is not None:
+                        report.timeouts += len(overdue)
+                        report.pool_rebuilds += 1
+                    for future in overdue:
+                        index, _ = inflight.pop(future)
+                        charge(index, "timeout", f"exceeded {policy.timeout:.1f}s")
+                    for future, (index, _) in list(inflight.items()):
+                        interrupt(index)
+                    inflight.clear()
+                    _shutdown_pool(pool, kill=True)
+                    pool = None
     finally:
+        if pool is not None:
+            _shutdown_pool(pool, kill=True)
         model.save()
 
 

@@ -24,6 +24,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.core.faults import active_injector, stale_temp
 from repro.core.simulator import SimulationResult
 from repro.traces.generator import GENERATOR_VERSION
 
@@ -160,7 +161,10 @@ class TimingStore:
     writes); timings are advisory -- a missing, stale, or corrupt file
     only degrades scheduling order, never results -- so any load error is
     treated as an empty store.  ``path=None`` keeps timings in memory
-    only (still useful within one invocation).
+    only (still useful within one invocation).  Saving *merges* with the
+    on-disk state instead of overwriting it, so two invocations sharing a
+    cache directory both contribute their observations; orphaned writer
+    temps from crashed processes are swept at construction.
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None, alpha: float = 0.5) -> None:
@@ -168,14 +172,35 @@ class TimingStore:
         self.alpha = alpha
         self._data: Dict[str, float] = {}
         if self.path is not None:
-            try:
-                payload = json.loads(self.path.read_text())
-                if payload.get("version") == TIMINGS_FORMAT_VERSION:
-                    self._data = {
-                        str(k): float(v) for k, v in dict(payload.get("seconds", {})).items()
-                    }
-            except (FileNotFoundError, json.JSONDecodeError, TypeError, ValueError):
-                pass
+            self._sweep_temps()
+            self._data = self._read_disk()
+        #: snapshot of the on-disk state this store last loaded or wrote,
+        #: so save() can tell which keys another process updated since
+        self._synced: Dict[str, float] = dict(self._data)
+
+    def _read_disk(self) -> Dict[str, float]:
+        """Current on-disk timings (empty on any error -- advisory data)."""
+        try:
+            payload = json.loads(self.path.read_text())
+            if payload.get("version") != TIMINGS_FORMAT_VERSION:
+                return {}
+            return {str(k): float(v) for k, v in dict(payload.get("seconds", {})).items()}
+        except (FileNotFoundError, json.JSONDecodeError, TypeError, ValueError, AttributeError):
+            return {}
+
+    def _sweep_temps(self) -> int:
+        """Remove writer temps (``<name>.tmp.<pid>``) of dead processes."""
+        removed = 0
+        if self.path is None or not self.path.parent.is_dir():
+            return removed
+        for tmp in self.path.parent.glob(f"{self.path.name}.tmp.*"):
+            if stale_temp(tmp, tmp.name.rsplit(".", 1)[-1]):
+                try:
+                    tmp.unlink()
+                    removed += 1
+                except FileNotFoundError:  # pragma: no cover - concurrent sweep
+                    pass
+        return removed
 
     @staticmethod
     def key(workload: str, name: str) -> str:
@@ -194,14 +219,30 @@ class TimingStore:
             self._data[key] = self.alpha * float(seconds) + (1.0 - self.alpha) * previous
 
     def save(self) -> None:
-        """Persist atomically (no-op for in-memory stores)."""
+        """Merge with the on-disk state, then persist atomically.
+
+        A plain overwrite is last-writer-wins: two concurrent invocations
+        sharing a cache dir would silently drop each other's timings.
+        Instead, keys another process added since our load are adopted,
+        and keys both sides updated are EMA-blended -- the merge is
+        heuristic (timings are advisory) but loses nobody's data.
+        No-op for in-memory stores.
+        """
         if self.path is None:
             return
+        disk = self._read_disk()
+        for key, disk_value in disk.items():
+            mine = self._data.get(key)
+            if mine is None:
+                self._data[key] = disk_value
+            elif disk_value != self._synced.get(key):
+                self._data[key] = self.alpha * mine + (1.0 - self.alpha) * disk_value
         payload = {"version": TIMINGS_FORMAT_VERSION, "seconds": self._data}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, self.path)
+        self._synced = dict(self._data)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -220,6 +261,16 @@ class ResultCache:
     or two CLI invocations sharing ``--cache-dir``) can never corrupt an
     entry.  ``hits``/``misses``/``writes`` counters let callers (and
     tests) verify that a warm cache performs zero simulations.
+
+    The store is *self-healing*: an entry that fails to parse or
+    validate (undecodable JSON, or a well-formed file with the right
+    version but a missing/malformed ``result`` field -- the signature of
+    an interrupted writer on a pre-atomic layout) is quarantined by
+    renaming it ``*.json.corrupt`` and reported as a miss, so the cell
+    re-simulates and overwrites instead of crashing the run.  Orphaned
+    writer temps (``*.json.tmp.<pid>`` of dead processes) are swept at
+    construction and by :meth:`clear`.  ``quarantined`` / ``temps_swept``
+    counters surface both in :meth:`stats`.
     """
 
     def __init__(self, cache_dir: Union[str, Path]) -> None:
@@ -228,22 +279,67 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
+        self.temps_swept = 0
+        self._sweep_temps()
 
     def _path(self, digest: str) -> Path:
         return self.cache_dir / f"{digest}.json"
 
-    def get(self, digest: str) -> Optional[SimulationResult]:
-        """Return the cached result for ``digest``, or ``None`` on a miss."""
+    def _sweep_temps(self) -> int:
+        """Remove writer temps (``*.json.tmp.<pid>``) of dead processes."""
+        removed = 0
+        for tmp in self.cache_dir.glob("*.json.tmp.*"):
+            if stale_temp(tmp, tmp.name.rsplit(".", 1)[-1]):
+                try:
+                    tmp.unlink()
+                    removed += 1
+                except FileNotFoundError:  # pragma: no cover - concurrent sweep
+                    pass
+        self.temps_swept += removed
+        return removed
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a damaged entry out of the way (``<name>.corrupt``)."""
         try:
-            payload = json.loads(self._path(digest).read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+        except OSError:  # pragma: no cover - raced unlink/rename
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+
+    def get(self, digest: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``digest``, or ``None`` on a miss.
+
+        Damaged entries (undecodable, or schema-invalid under the current
+        version) are quarantined and treated as misses rather than
+        raising, so one bad file degrades a single cell to
+        re-simulation instead of aborting the campaign.
+        """
+        path = self._path(digest)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
             self.misses += 1
             return None
-        if payload.get("version") != CACHE_FORMAT_VERSION:
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                # foreign layout version: a plain miss, not damage --
+                # another tool revision may still be able to read it
+                self.misses += 1
+                return None
+            result = result_from_dict(payload["result"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return result_from_dict(payload["result"])
+        return result
 
     def put(self, digest: str, key: Mapping[str, object], result: SimulationResult) -> None:
         """Store ``result`` under ``digest`` (atomic, last writer wins)."""
@@ -252,6 +348,14 @@ class ResultCache:
             "key": dict(key),
             "result": result_to_dict(result),
         }
+        injector = active_injector()
+        if injector is not None and injector.should_corrupt(
+            str(key.get("workload", "")), str(key.get("config", ""))
+        ):
+            # fault injection: drop the result field, keeping the entry
+            # well-formed JSON of the right version -- the exact shape
+            # the quarantine path in get() must recover from
+            del payload["result"]
         path = self._path(digest)
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -267,7 +371,12 @@ class ResultCache:
             return False
 
     def clear(self) -> int:
-        """Drop every entry; returns the number removed."""
+        """Drop every entry; returns the number removed.
+
+        Also sweeps quarantined (``*.json.corrupt``) files and orphaned
+        writer temps -- ``clear`` means "leave the directory pristine",
+        not "remove only what I can still parse".
+        """
         removed = 0
         for path in self.cache_dir.glob("*.json"):
             try:
@@ -275,10 +384,22 @@ class ResultCache:
                 removed += 1
             except FileNotFoundError:  # pragma: no cover - concurrent clear
                 pass
+        for path in self.cache_dir.glob("*.json.corrupt"):
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent clear
+                pass
+        self._sweep_temps()
         return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.cache_dir.glob("*.json"))
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+            "temps_swept": self.temps_swept,
+        }

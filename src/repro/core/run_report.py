@@ -1,0 +1,217 @@
+"""Structured reports of how a matrix run actually went.
+
+A matrix that completed after retrying crashed workers is *not* the same
+run as one that completed cleanly, even though both return bit-identical
+results -- and for campaign-scale reproductions the difference matters
+(a host that OOM-kills one cell per figure deserves investigation before
+it eats a week-long sweep).  :class:`RunReport` records, per cell, how
+many executions were attempted, which failures were observed (worker
+crash, raised exception, timeout), and how long the successful attempt
+took; plus run-level counters (pool rebuilds, timeouts, whether the run
+degraded to serial fallback) and -- at serialization time -- the result
+cache / artifact store health counters (hits, quarantined entries, swept
+temps).
+
+The report is owned by the :class:`~repro.core.runner.Runner`
+(``runner.report``) and accumulates across ``run_cells`` calls within
+one runner's lifetime, which matches one CLI invocation.  ``--report
+PATH`` serialises it as JSON; the end-of-run summary line is
+:meth:`RunReport.summary`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.results_io import freeze_overrides
+
+REPORT_FORMAT_VERSION = 1
+
+
+@dataclass
+class CellReport:
+    """Execution record of one (workload, config, overrides) cell.
+
+    ``attempts`` counts execution *starts* (including ones later killed
+    by an unrelated failure); ``retries`` counts re-executions charged to
+    this cell's own failures; ``interruptions`` counts re-executions
+    where the cell was an innocent victim of another cell's incident
+    (e.g. a pool rebuild) -- those do not consume the retry budget.
+    """
+
+    workload: str
+    config: str
+    overrides: str = ""
+    source: str = ""  # "cached" | "simulated" | "" (never resolved)
+    attempts: int = 0
+    retries: int = 0
+    interruptions: int = 0
+    seconds: float = 0.0
+    failures: List[Dict[str, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "overrides": self.overrides,
+            "source": self.source,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "interruptions": self.interruptions,
+            "seconds": self.seconds,
+            "failures": list(self.failures),
+        }
+
+
+class RunReport:
+    """Aggregates per-cell execution records and run-level counters."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[str, str, str], CellReport] = {}
+        self.pool_rebuilds = 0
+        self.timeouts = 0
+        self.serial_fallback = False
+        self.started_at = time.time()
+
+    # -- recording ----------------------------------------------------------
+
+    @staticmethod
+    def _overrides_token(overrides: Optional[Mapping[str, object]]) -> str:
+        frozen = freeze_overrides(overrides)
+        return repr(frozen) if frozen else ""
+
+    def cell(
+        self,
+        workload: str,
+        config: str,
+        overrides: Optional[Mapping[str, object]] = None,
+    ) -> CellReport:
+        token = self._overrides_token(overrides)
+        key = (workload, config, token)
+        if key not in self._cells:
+            self._cells[key] = CellReport(workload=workload, config=config, overrides=token)
+        return self._cells[key]
+
+    def record_cached(
+        self, workload: str, config: str, overrides: Optional[Mapping[str, object]] = None
+    ) -> None:
+        """The cell resolved from the memo or disk cache -- no execution."""
+        entry = self.cell(workload, config, overrides)
+        if not entry.source:
+            entry.source = "cached"
+
+    def record_attempt(
+        self, workload: str, config: str, overrides: Optional[Mapping[str, object]] = None
+    ) -> None:
+        self.cell(workload, config, overrides).attempts += 1
+
+    def record_failure(
+        self,
+        workload: str,
+        config: str,
+        overrides: Optional[Mapping[str, object]],
+        kind: str,
+        detail: str,
+    ) -> None:
+        """A failure charged to this cell (consumes its retry budget)."""
+        entry = self.cell(workload, config, overrides)
+        entry.failures.append({"kind": kind, "detail": detail})
+        entry.retries += 1
+
+    def record_interruption(
+        self, workload: str, config: str, overrides: Optional[Mapping[str, object]] = None
+    ) -> None:
+        """The cell's execution was collateral damage of another failure."""
+        self.cell(workload, config, overrides).interruptions += 1
+
+    def record_success(
+        self,
+        workload: str,
+        config: str,
+        overrides: Optional[Mapping[str, object]],
+        seconds: float,
+    ) -> None:
+        entry = self.cell(workload, config, overrides)
+        entry.source = "simulated"
+        entry.seconds += seconds
+
+    # -- aggregates ---------------------------------------------------------
+
+    def cells(self) -> List[CellReport]:
+        return [self._cells[key] for key in sorted(self._cells)]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(entry.retries for entry in self._cells.values())
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(entry.failures) for entry in self._cells.values())
+
+    @property
+    def total_interruptions(self) -> int:
+        return sum(entry.interruptions for entry in self._cells.values())
+
+    def totals(self) -> Dict[str, object]:
+        cells = list(self._cells.values())
+        return {
+            "cells": len(cells),
+            "cached": sum(1 for entry in cells if entry.source == "cached"),
+            "simulated": sum(1 for entry in cells if entry.source == "simulated"),
+            "attempts": sum(entry.attempts for entry in cells),
+            "retries": self.total_retries,
+            "interruptions": self.total_interruptions,
+            "failures": self.total_failures,
+            "seconds": sum(entry.seconds for entry in cells),
+        }
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self, runner=None) -> Dict[str, object]:
+        """JSON-able report; ``runner`` contributes cache/artifact health.
+
+        ``quarantined`` is surfaced at the top level (result-cache plus
+        artifact-store quarantines) because it is the number an operator
+        triages first: non-zero means on-disk state was damaged and
+        healed this run.
+        """
+        data: Dict[str, object] = {
+            "version": REPORT_FORMAT_VERSION,
+            "cells": [entry.to_dict() for entry in self.cells()],
+            "totals": self.totals(),
+            "pool_rebuilds": self.pool_rebuilds,
+            "timeouts": self.timeouts,
+            "serial_fallback": self.serial_fallback,
+            "quarantined": 0,
+        }
+        if runner is not None:
+            data["simulations"] = runner.sim_count
+            quarantined = 0
+            if runner.cache is not None:
+                data["cache"] = runner.cache.stats()
+                quarantined += runner.cache.quarantined
+            if runner.artifacts is not None:
+                data["artifacts"] = runner.artifacts.stats()
+                quarantined += runner.artifacts.quarantined
+            data["quarantined"] = quarantined
+        return data
+
+    def summary(self, runner=None) -> str:
+        """One-line end-of-run summary (grep-friendly ``key=value`` pairs)."""
+        totals = self.totals()
+        line = (
+            f"run report: cells={totals['cells']} cached={totals['cached']} "
+            f"simulated={totals['simulated']} retries={totals['retries']} "
+            f"timeouts={self.timeouts} pool_rebuilds={self.pool_rebuilds} "
+            f"serial_fallback={'yes' if self.serial_fallback else 'no'}"
+        )
+        if runner is not None:
+            quarantined = 0
+            if runner.cache is not None:
+                quarantined += runner.cache.quarantined
+            if runner.artifacts is not None:
+                quarantined += runner.artifacts.quarantined
+            line += f" quarantined={quarantined}"
+        return line

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.artifacts import ArtifactStore
+from repro.core.run_report import RunReport
 from repro.core.results_io import (
     TIMINGS_FILENAME,
     ResultCache,
@@ -89,6 +90,15 @@ class Runner:
     ``bundle_build_seconds`` / ``artifact_load_seconds`` /
     ``sim_seconds`` accumulate the phase breakdown the throughput
     benchmark reports.
+
+    ``retry_policy`` optionally attaches a
+    :class:`~repro.core.parallel.RetryPolicy` governing the parallel
+    path's fault tolerance (per-cell retries, backoff, timeout, pool
+    recovery); ``None`` uses the policy's defaults.  ``report`` is a
+    :class:`~repro.core.run_report.RunReport` accumulating per-cell
+    attempt/retry/failure records across this runner's ``run_cells``
+    calls, so a matrix that completed *with* retries is distinguishable
+    from a clean one.
     """
 
     def __init__(
@@ -96,10 +106,13 @@ class Runner:
         config: Optional[RunnerConfig] = None,
         cache: Optional[ResultCache] = None,
         artifacts: Optional[ArtifactStore] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.cache = cache
         self.artifacts = artifacts
+        self.retry_policy = retry_policy
+        self.report = RunReport()
         self.sim_count = 0
         self.bundle_builds = 0
         self.bundle_loads = 0
@@ -309,6 +322,12 @@ class Runner:
         runner's artifact store when one is attached).  Results come back
         in cell order and are bit-identical either way.  ``progress``
         fires once per cell (completion order under parallelism).
+
+        The parallel path is fault-tolerant: worker crashes, raised
+        exceptions, and (with a timeout configured) hangs are retried
+        per ``self.retry_policy``, and every attempt/retry/failure is
+        recorded in ``self.report`` (a
+        :class:`~repro.core.run_report.RunReport`).
         """
         cells = [(workload, name, dict(overrides or {})) for workload, name, overrides in cells]
         out: Dict[int, SimulationResult] = {}
@@ -320,6 +339,7 @@ class Runner:
             cached = self.lookup_cached(workload, name, overrides)
             if cached is not None:
                 out[index] = cached
+                self.report.record_cached(workload, name, overrides)
                 if progress is not None:
                     progress(workload, name, cached)
             else:
@@ -346,6 +366,8 @@ class Runner:
                 jobs,
                 artifact_dir=artifact_dir,
                 cost_model=model,
+                policy=self.retry_policy,
+                report=self.report,
             ):
                 self.sim_count += 1
                 finish(result_key(workload, name, overrides), result)
@@ -357,11 +379,12 @@ class Runner:
             for workload, keys in by_workload.items():
                 for key in keys:
                     _, name, overrides = cell_of[key]
+                    self.report.record_attempt(workload, name, overrides)
                     started = time.perf_counter()
                     result = self.run_one(workload, name, use_cache=False, **overrides)
-                    self.timing_store().observe(
-                        workload, name, time.perf_counter() - started
-                    )
+                    elapsed = time.perf_counter() - started
+                    self.timing_store().observe(workload, name, elapsed)
+                    self.report.record_success(workload, name, overrides, elapsed)
                     finish(key, result)
                 if release_bundles:
                     self.release(workload)

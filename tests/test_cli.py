@@ -62,6 +62,16 @@ class TestParser:
         defaults = build_parser().parse_args(["report", "fig12"])
         assert defaults.artifact_dir is None and not defaults.warm_artifacts
 
+    def test_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "kafka", "--config", "llbp",
+             "--retries", "5", "--cell-timeout", "2.5", "--report", "/tmp/r.json"]
+        )
+        assert args.retries == 5 and args.cell_timeout == 2.5 and args.report == "/tmp/r.json"
+        defaults = build_parser().parse_args(["report", "fig12"])
+        assert defaults.retries == 3 and defaults.cell_timeout is None
+        assert defaults.report is None  # the figure name lives in args.name
+
     def test_profile_flags(self):
         args = build_parser().parse_args(
             ["run", "--workload", "kafka", "--config", "llbp", "--profile", "--profile-top", "10"]
@@ -133,6 +143,47 @@ class TestExecution:
         second = capsys.readouterr()
         assert second.out == first.out
         assert "(0 bundle builds" in second.err
+
+    def test_run_prints_report_summary_line(self, capsys):
+        assert main(["run", "--workload", "kafka", "--config", "tsl_64k",
+                     "--branches", "5000"]) == 0
+        err = capsys.readouterr().err
+        assert "run report:" in err and "retries=0" in err and "quarantined=0" in err
+
+    def test_run_writes_report_json(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        code = main(["run", "--workload", "kafka", "--config", "tsl_64k",
+                     "--branches", "5000", "--report", str(report_path)])
+        assert code == 0
+        assert f"run report written to {report_path}" in capsys.readouterr().err
+        payload = json.loads(report_path.read_text())
+        assert payload["version"] == 1
+        assert payload["totals"] == {
+            "cells": 1, "cached": 0, "simulated": 1, "attempts": 1,
+            "retries": 0, "interruptions": 0, "failures": 0,
+            "seconds": payload["totals"]["seconds"],
+        }
+        assert payload["simulations"] == 1
+        assert payload["cells"][0]["workload"] == "kafka"
+
+    def test_run_recovers_from_injected_crash(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv(
+            "REPRO_FAULT_SPEC",
+            f"ledger={tmp_path / 'ledger'};crash:kafka/tsl_64k:1",
+        )
+        code = main(["run", "--workload", "kafka", "--workload", "nodeapp",
+                     "--config", "tsl_64k", "--branches", "5000", "--jobs", "2",
+                     "--report", str(tmp_path / "r.json")])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "pool_rebuilds=" in err
+        payload = json.loads((tmp_path / "r.json").read_text())
+        assert payload["totals"]["retries"] >= 1
+        assert payload["pool_rebuilds"] >= 1
 
     def test_run_no_cache_skips_cache(self, capsys, tmp_path):
         argv = ["run", "--workload", "kafka", "--config", "tsl_64k", "--branches",

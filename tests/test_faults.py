@@ -1,0 +1,415 @@
+"""Tests for the fault-tolerance layer.
+
+Covers the deterministic fault injector (spec parsing, slot accounting),
+the retrying parallel executor (crash / raise / hang recovery,
+bit-identical results, retry budgets, serial fallback), the self-healing
+stores (quarantine + stale-temp sweeps), the merge-save timing store,
+and the structured :class:`RunReport`.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import (
+    ArtifactStore,
+    CellExecutionError,
+    FaultError,
+    FaultInjector,
+    ResultCache,
+    RetryPolicy,
+    Runner,
+    RunnerConfig,
+    RunReport,
+    TimingStore,
+    parse_fault_spec,
+)
+from repro.core.faults import ENV_VAR, FaultRule, active_injector
+
+SMALL = RunnerConfig(scale=4, num_branches=3000)
+
+
+class TestParseFaultSpec:
+    def test_minimal_clause(self):
+        rules, ledger = parse_fault_spec("crash:kafka/tsl_64k")
+        assert ledger is None
+        assert rules == [FaultRule("crash", "kafka", "tsl_64k", 1, 3600.0)]
+
+    def test_count_and_seconds(self):
+        rules, _ = parse_fault_spec("hang:kafka/llbp:2:5.5")
+        assert rules[0].count == 2 and rules[0].seconds == 5.5
+
+    def test_multiple_clauses_and_ledger(self):
+        rules, ledger = parse_fault_spec(
+            "ledger=/tmp/led;crash:kafka/tsl_64k:1;raise:*/llbp:3"
+        )
+        assert str(ledger) == "/tmp/led"
+        assert [rule.kind for rule in rules] == ["crash", "raise"]
+        assert rules[1].workload == "*"
+
+    def test_empty_clauses_skipped(self):
+        rules, _ = parse_fault_spec(";;crash:a/b;;")
+        assert len(rules) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("explode:kafka/llbp")
+
+    def test_missing_slash_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("crash:kafka")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("crash:a/b:soon")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("crash:a/b:-1")
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("crash:a/b:1:2:3")
+
+    def test_from_spec_empty_is_none(self):
+        assert FaultInjector.from_spec(None) is None
+        assert FaultInjector.from_spec("") is None
+        assert FaultInjector.from_spec("ledger=/tmp/led") is None
+
+
+class TestFaultInjector:
+    def test_rule_matching(self):
+        rule = FaultRule("crash", "*", "llbp")
+        assert rule.matches("kafka", "llbp")
+        assert rule.matches("nodeapp", "llbp")
+        assert not rule.matches("kafka", "tsl_64k")
+
+    def test_in_memory_count_burns_out(self):
+        injector = FaultInjector([FaultRule("raise", "kafka", "llbp", count=2)])
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                injector.fire("kafka", "llbp", in_worker=False)
+        injector.fire("kafka", "llbp", in_worker=False)  # burned out: no-op
+
+    def test_crash_degrades_to_raise_in_process(self):
+        injector = FaultInjector([FaultRule("crash", "kafka", "llbp")])
+        with pytest.raises(FaultError):
+            injector.fire("kafka", "llbp", in_worker=False)
+
+    def test_non_matching_cell_untouched(self):
+        injector = FaultInjector([FaultRule("raise", "kafka", "llbp")])
+        injector.fire("nodeapp", "llbp", in_worker=False)  # no fault
+
+    def test_ledger_claims_shared_across_injectors(self, tmp_path):
+        rule = FaultRule("raise", "kafka", "llbp", count=1)
+        first = FaultInjector([rule], ledger=tmp_path)
+        with pytest.raises(FaultError):
+            first.fire("kafka", "llbp", in_worker=False)
+        # a second injector (another process in real life) sees the claim
+        second = FaultInjector([rule], ledger=tmp_path)
+        second.fire("kafka", "llbp", in_worker=False)  # slot already burned
+
+    def test_wildcard_budget_is_per_cell(self):
+        injector = FaultInjector([FaultRule("raise", "*", "llbp", count=1)])
+        with pytest.raises(FaultError):
+            injector.fire("kafka", "llbp", in_worker=False)
+        with pytest.raises(FaultError):
+            injector.fire("nodeapp", "llbp", in_worker=False)
+        injector.fire("kafka", "llbp", in_worker=False)  # kafka's slot burned
+
+    def test_hang_sleeps_for_requested_duration(self):
+        injector = FaultInjector([FaultRule("hang", "kafka", "llbp", seconds=0.3)])
+        start = time.monotonic()
+        injector.fire("kafka", "llbp", in_worker=False)
+        assert time.monotonic() - start >= 0.3
+
+    def test_should_corrupt_counts_slots(self):
+        injector = FaultInjector([FaultRule("corrupt", "kafka", "llbp", count=1)])
+        assert injector.should_corrupt("kafka", "llbp") is True
+        assert injector.should_corrupt("kafka", "llbp") is False
+        assert injector.should_corrupt("nodeapp", "llbp") is False
+
+    def test_active_injector_tracks_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_injector() is None
+        monkeypatch.setenv(ENV_VAR, "raise:kafka/llbp:1")
+        injector = active_injector()
+        assert injector is not None
+        assert active_injector() is injector  # cached while spec unchanged
+        monkeypatch.delenv(ENV_VAR)
+        assert active_injector() is None
+
+
+class TestCrashRecovery:
+    """The tentpole acceptance path: injected faults, bit-identical results."""
+
+    def test_raise_faults_exact_retry_accounting(self, tmp_path, monkeypatch):
+        # raised exceptions keep the pool healthy, so the accounting is
+        # exact: each faulted cell is charged precisely its own failure
+        expected = Runner(SMALL).run_matrix(["kafka"], ["tsl_16k", "llbp"])
+        monkeypatch.setenv(
+            ENV_VAR,
+            f"ledger={tmp_path / 'ledger'};raise:kafka/tsl_16k:1;raise:kafka/llbp:1",
+        )
+        runner = Runner(SMALL, retry_policy=RetryPolicy(retries=3, backoff=0.01))
+        got = runner.run_matrix(["kafka"], ["tsl_16k", "llbp"], jobs=2)
+        assert got == expected
+        report = runner.report
+        assert report.cell("kafka", "tsl_16k").retries == 1
+        assert report.cell("kafka", "llbp").retries == 1
+        assert report.total_retries == 2
+        assert report.pool_rebuilds == 0
+        assert not report.serial_fallback
+
+    def test_worker_crashes_recovered_bit_identical(self, tmp_path, monkeypatch):
+        expected = Runner(SMALL).run_matrix(["kafka"], ["tsl_16k", "llbp"])
+        monkeypatch.setenv(
+            ENV_VAR,
+            f"ledger={tmp_path / 'ledger'};crash:kafka/tsl_16k:1;crash:kafka/llbp:1",
+        )
+        runner = Runner(SMALL, retry_policy=RetryPolicy(retries=3, backoff=0.01))
+        got = runner.run_matrix(["kafka"], ["tsl_16k", "llbp"], jobs=2)
+        assert got == expected
+        report = runner.report
+        tsl, llbp = report.cell("kafka", "tsl_16k"), report.cell("kafka", "llbp")
+        assert tsl.retries >= 1 and llbp.retries >= 1
+        assert tsl.source == "simulated" and llbp.source == "simulated"
+        assert report.pool_rebuilds >= 1
+        # a dead worker is only ever observed as a pool break
+        for failure in tsl.failures + llbp.failures:
+            assert failure["kind"] == "pool-break"
+
+    def test_hang_trips_timeout_and_retries(self, tmp_path, monkeypatch):
+        expected = Runner(SMALL).run_matrix(["kafka"], ["tsl_16k", "llbp"])
+        monkeypatch.setenv(
+            ENV_VAR, f"ledger={tmp_path / 'ledger'};hang:kafka/tsl_16k:1:60"
+        )
+        runner = Runner(
+            SMALL, retry_policy=RetryPolicy(retries=2, backoff=0.01, timeout=2.0)
+        )
+        got = runner.run_matrix(["kafka"], ["tsl_16k", "llbp"], jobs=2)
+        assert got == expected
+        report = runner.report
+        assert report.timeouts == 1
+        tsl = report.cell("kafka", "tsl_16k")
+        assert [failure["kind"] for failure in tsl.failures] == ["timeout"]
+        assert tsl.retries == 1
+        # the wedged worker must actually be dead -- an unterminated one
+        # blocks interpreter exit until its 60 s sleep finishes
+        import multiprocessing
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(p.is_alive() for p in multiprocessing.active_children()):
+                break
+            time.sleep(0.05)
+        assert not any(p.is_alive() for p in multiprocessing.active_children())
+
+    def test_retry_budget_exhausted_raises_without_hanging(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "raise:kafka/tsl_16k:99")
+        runner = Runner(SMALL, retry_policy=RetryPolicy(retries=1, backoff=0.01))
+        with pytest.raises(CellExecutionError) as excinfo:
+            runner.run_matrix(["kafka"], ["tsl_16k", "llbp"], jobs=2)
+        assert excinfo.value.kind == "exception"
+        assert "FaultError" in excinfo.value.detail
+        assert excinfo.value.attempts == 2  # first run + the one retry
+
+    def test_repeated_pool_breaks_degrade_to_serial(self, tmp_path, monkeypatch):
+        expected = Runner(SMALL).run_matrix(["kafka"], ["tsl_16k", "llbp"])
+        monkeypatch.setenv(
+            ENV_VAR, f"ledger={tmp_path / 'ledger'};crash:kafka/tsl_16k:3"
+        )
+        runner = Runner(
+            SMALL,
+            retry_policy=RetryPolicy(retries=6, backoff=0.01, pool_failure_limit=2),
+        )
+        got = runner.run_matrix(["kafka"], ["tsl_16k", "llbp"], jobs=2)
+        assert got == expected
+        assert runner.report.serial_fallback is True
+
+    def test_serial_path_records_report_too(self):
+        runner = Runner(SMALL)
+        runner.run_matrix(["kafka"], ["tsl_16k"])
+        cell = runner.report.cell("kafka", "tsl_16k")
+        assert cell.source == "simulated"
+        assert cell.attempts == 1 and cell.retries == 0
+
+
+class TestCorruptWriteSelfHealing:
+    def test_quarantine_then_resimulate_bit_identical(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        expected = Runner(SMALL).run_one("kafka", "tsl_16k")
+
+        monkeypatch.setenv(ENV_VAR, "corrupt:kafka/tsl_16k:1")
+        writer = Runner(SMALL, cache=ResultCache(cache_dir))
+        writer.run_one("kafka", "tsl_16k")
+        (entry,) = cache_dir.glob("*.json")
+        payload = json.loads(entry.read_text())
+        assert "result" not in payload  # well-formed JSON, right version, no result
+        monkeypatch.delenv(ENV_VAR)
+
+        healer = Runner(SMALL, cache=ResultCache(cache_dir))
+        assert healer.run_one("kafka", "tsl_16k") == expected
+        assert healer.sim_count == 1
+        assert healer.cache.quarantined == 1
+        assert list(cache_dir.glob("*.json.corrupt"))
+
+        warm = Runner(SMALL, cache=ResultCache(cache_dir))
+        assert warm.run_one("kafka", "tsl_16k") == expected
+        assert warm.sim_count == 0  # the healed entry serves the repeat run
+
+
+class TestTimingStoreMerge:
+    def test_concurrent_saves_blend_instead_of_clobbering(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        a = TimingStore(path)
+        b = TimingStore(path)  # loaded before a saved: knows nothing of a
+        a.observe("kafka", "llbp", 2.0)
+        a.save()
+        b.observe("kafka", "llbp", 4.0)
+        b.save()
+        assert TimingStore(path).get("kafka", "llbp") == pytest.approx(3.0)
+
+    def test_disk_only_keys_adopted_on_save(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        a = TimingStore(path)
+        b = TimingStore(path)
+        a.observe("kafka", "llbp", 2.0)
+        a.save()
+        b.observe("nodeapp", "tsl_64k", 1.0)
+        b.save()
+        merged = TimingStore(path)
+        assert merged.get("kafka", "llbp") == pytest.approx(2.0)
+        assert merged.get("nodeapp", "tsl_64k") == pytest.approx(1.0)
+
+    def test_unchanged_disk_keys_not_reblended(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        store = TimingStore(path)
+        store.observe("kafka", "llbp", 2.0)
+        store.save()
+        store.save()  # disk matches the synced snapshot: value must not drift
+        assert TimingStore(path).get("kafka", "llbp") == pytest.approx(2.0)
+
+    def test_stale_temp_swept_on_init(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        stale = tmp_path / "timings.meta.tmp.999999999"
+        stale.write_text("partial")
+        TimingStore(path)
+        assert not stale.exists()
+
+    def test_live_temp_kept(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        live = tmp_path / f"timings.meta.tmp.{os.getpid()}"
+        live.write_text("in flight")
+        TimingStore(path)
+        assert live.exists()
+
+
+class TestArtifactStoreSelfHealing:
+    def test_undecodable_meta_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        directory = store.bundle_dir(store.bundle_digest("kafka", SMALL))
+        directory.mkdir()
+        (directory / "meta.json").write_text("{ torn write")
+        assert store.load_bundle("kafka", SMALL) is None
+        assert store.quarantined == 1
+        assert (directory / "meta.json.corrupt").exists()
+
+    def test_schema_invalid_meta_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        directory = store.bundle_dir(store.bundle_digest("kafka", SMALL))
+        directory.mkdir()
+        # right key, but no trace fields: a torn write on the value side
+        meta = {"key": store.bundle_key("kafka", SMALL)}
+        (directory / "meta.json").write_text(json.dumps(meta))
+        assert store.load_bundle("kafka", SMALL) is None
+        assert store.quarantined == 1
+
+    def test_quarantined_bundle_regenerates(self, tmp_path):
+        expected = Runner(SMALL).run_one("kafka", "tsl_16k")
+        store = ArtifactStore(tmp_path)
+        directory = store.bundle_dir(store.bundle_digest("kafka", SMALL))
+        directory.mkdir()
+        (directory / "meta.json").write_text("not even json")
+        runner = Runner(SMALL, artifacts=store)
+        assert runner.run_one("kafka", "tsl_16k") == expected
+        assert store.quarantined == 1
+        assert store.bundle_writes == 1  # regenerated over the damaged dir
+
+    def test_clear_removes_quarantined_bundle_dirs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        directory = tmp_path / "feedbeef"
+        directory.mkdir()
+        (directory / "meta.json.corrupt").write_text("damaged")
+        store.clear()
+        assert not directory.exists()
+
+    def test_stale_artifact_temps_swept(self, tmp_path):
+        (tmp_path / ".ctx_values.npy.999999999.abcd1234.tmp.npy").write_text("x")
+        (tmp_path / ".meta.json.999999999.abcd1234.tmp").write_text("x")
+        store = ArtifactStore(tmp_path)
+        assert store.temps_swept == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_live_artifact_temp_kept(self, tmp_path):
+        live = tmp_path / f".meta.json.{os.getpid()}.abcd1234.tmp"
+        live.write_text("in flight")
+        assert ArtifactStore(tmp_path).temps_swept == 0
+        assert live.exists()
+
+
+class TestRunReport:
+    def test_records_accumulate_per_cell(self):
+        report = RunReport()
+        report.record_attempt("kafka", "llbp")
+        report.record_failure("kafka", "llbp", None, "exception", "boom")
+        report.record_attempt("kafka", "llbp")
+        report.record_success("kafka", "llbp", None, 1.5)
+        cell = report.cell("kafka", "llbp")
+        assert cell.attempts == 2 and cell.retries == 1
+        assert cell.source == "simulated" and cell.seconds == 1.5
+        assert report.total_retries == 1 and report.total_failures == 1
+
+    def test_cached_does_not_override_simulated(self):
+        report = RunReport()
+        report.record_success("kafka", "llbp", None, 1.0)
+        report.record_cached("kafka", "llbp")
+        assert report.cell("kafka", "llbp").source == "simulated"
+
+    def test_overrides_distinguish_cells(self):
+        report = RunReport()
+        report.record_attempt("kafka", "llbp")
+        report.record_attempt("kafka", "llbp", {"num_contexts": 1024})
+        assert len(report.cells()) == 2
+
+    def test_to_dict_is_json_serialisable(self):
+        report = RunReport()
+        report.record_attempt("kafka", "llbp")
+        report.record_success("kafka", "llbp", None, 0.5)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["version"] == 1
+        assert data["totals"]["cells"] == 1
+        assert data["totals"]["simulated"] == 1
+        assert data["quarantined"] == 0
+        assert data["serial_fallback"] is False
+
+    def test_to_dict_with_runner_surfaces_quarantines(self, tmp_path):
+        runner = Runner(SMALL, cache=ResultCache(tmp_path / "cache"))
+        runner.cache.quarantined = 2
+        data = runner.report.to_dict(runner)
+        assert data["quarantined"] == 2
+        assert data["cache"]["quarantined"] == 2
+        assert data["simulations"] == 0
+
+    def test_summary_line_is_grep_friendly(self):
+        report = RunReport()
+        report.record_failure("kafka", "llbp", None, "pool-break", "died")
+        line = report.summary()
+        assert "retries=1" in line and "pool_rebuilds=0" in line
+        assert "serial_fallback=no" in line
+
+    def test_summary_with_runner_includes_quarantined(self, tmp_path):
+        runner = Runner(SMALL, cache=ResultCache(tmp_path / "cache"))
+        assert "quarantined=0" in runner.report.summary(runner)

@@ -82,7 +82,13 @@ class TestResultCache:
         assert cache.get("deadbeef") is None
         cache.put("deadbeef", {"k": "v"}, sample_result())
         assert cache.get("deadbeef") == sample_result()
-        assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+            "quarantined": 0,
+            "temps_swept": 0,
+        }
 
     def test_invalidate(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -104,10 +110,85 @@ class TestResultCache:
         (tmp_path / "abcd.json").write_text("{ not json")
         assert cache.get("abcd") is None
 
-    def test_unknown_version_is_a_miss(self, tmp_path):
+    def test_unknown_version_is_a_miss_without_quarantine(self, tmp_path):
         cache = ResultCache(tmp_path)
         (tmp_path / "abcd.json").write_text('{"version": 99}')
         assert cache.get("abcd") is None
+        # a foreign layout version is not damage: the file stays put
+        assert cache.quarantined == 0
+        assert (tmp_path / "abcd.json").exists()
+
+    def test_undecodable_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text("{ not json")
+        assert cache.get("abcd") is None
+        assert cache.quarantined == 1
+        assert not (tmp_path / "abcd.json").exists()
+        assert (tmp_path / "abcd.json.corrupt").exists()
+
+    def test_right_version_missing_result_is_quarantined(self, tmp_path):
+        # the truncated-then-completed-write shape: well-formed JSON,
+        # current version, but no usable result payload
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text('{"version": 1, "key": {}}')
+        assert cache.get("abcd") is None
+        assert cache.quarantined == 1
+        assert (tmp_path / "abcd.json.corrupt").exists()
+
+    def test_malformed_result_field_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text('{"version": 1, "result": 42}')
+        assert cache.get("abcd") is None
+        assert cache.quarantined == 1
+
+    def test_quarantined_entry_can_be_rewritten(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text('{"version": 1}')
+        assert cache.get("abcd") is None
+        cache.put("abcd", {}, sample_result())
+        assert cache.get("abcd") == sample_result()
+
+    def test_quarantined_files_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "abcd.json").write_text('{"version": 1}')
+        cache.get("abcd")
+        assert len(cache) == 0
+
+
+class TestTempSweep:
+    def test_stale_temp_swept_on_init(self, tmp_path):
+        (tmp_path / "abcd.json.tmp.999999999").write_text("partial")
+        cache = ResultCache(tmp_path)
+        assert cache.temps_swept == 1
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_unparseable_temp_suffix_swept(self, tmp_path):
+        (tmp_path / "abcd.json.tmp.bogus").write_text("partial")
+        assert ResultCache(tmp_path).temps_swept == 1
+
+    def test_live_pid_temp_kept(self, tmp_path):
+        import os
+
+        live = tmp_path / f"abcd.json.tmp.{os.getpid()}"
+        live.write_text("in flight")
+        cache = ResultCache(tmp_path)
+        assert cache.temps_swept == 0
+        assert live.exists()
+
+    def test_clear_sweeps_temps_and_corrupt_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa", {}, sample_result())
+        (tmp_path / "bb.json.tmp.999999999").write_text("partial")
+        (tmp_path / "cc.json").write_text("{ broken")
+        cache.get("cc")  # quarantines to cc.json.corrupt
+        assert cache.clear() == 1
+        assert list(tmp_path.iterdir()) == []
+
+    def test_temps_are_invisible_to_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa", {}, sample_result())
+        (tmp_path / f"bb.json.tmp.{__import__('os').getpid()}").write_text("x")
+        assert len(cache) == 1
 
 
 class TestRunnerCacheIntegration:
