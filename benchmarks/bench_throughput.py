@@ -35,11 +35,21 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro import obs
 from repro.core import ArtifactStore, ResultCache, Runner, RunnerConfig
 from repro.traces.workloads import clear_trace_cache
 
 DEFAULT_WORKLOADS = "kafka,nodeapp,tomcat,wikipedia"
 DEFAULT_CONFIGS = "tsl_64k,llbp,llbpx"
+
+
+def _store_health_gauges(prefix, stats, hits, attempts):
+    """Mirror a store's health counters (plus a derived hit rate) into
+    gauges, so the benchmark's metrics.json carries them."""
+    reg = obs.registry()
+    for key, value in stats.items():
+        reg.gauge("%s.%s" % (prefix, key)).set(float(value))
+    reg.gauge("%s.hit_rate" % prefix).set(hits / attempts if attempts else 0.0)
 
 
 def _timed_matrix(config, workloads, configs, jobs, cache=None, artifacts=None):
@@ -95,6 +105,18 @@ def bench_cache(config, workloads, configs):
             config, workloads, configs, jobs=1, cache=ResultCache(cache_dir)
         )
         assert warm_runner.sim_count == 0, "warm cache must perform zero simulations"
+        cache_stats = {
+            key: cold + warm
+            for (key, cold), warm in zip(
+                cold_runner.cache.stats().items(), warm_runner.cache.stats().values()
+            )
+        }
+        _store_health_gauges(
+            "bench.result_cache",
+            cache_stats,
+            hits=cache_stats["hits"],
+            attempts=cache_stats["hits"] + cache_stats["misses"],
+        )
         print(
             f"cache: cold {cold_seconds:.2f}s -> warm {warm_seconds:.3f}s "
             f"(x{cold_seconds / warm_seconds:.0f}, {warm_runner.cache.hits} hits, "
@@ -126,6 +148,18 @@ def bench_artifacts(config, workloads, configs):
         )
         assert warm_runner.bundle_builds == 0, "warm store must perform zero bundle builds"
         assert warm_runner.bundle_loads == len(workloads)
+        store_stats = {
+            key: cold + warm
+            for (key, cold), warm in zip(
+                cold_runner.artifacts.stats().items(), warm_runner.artifacts.stats().values()
+            )
+        }
+        _store_health_gauges(
+            "bench.artifact_store",
+            store_stats,
+            hits=store_stats["bundle_loads"],
+            attempts=store_stats["bundle_loads"] + store_stats["bundle_writes"],
+        )
         improvement = 100.0 * (1.0 - warm_seconds / cold_seconds)
         print(
             f"artifacts: cold {cold_seconds:.2f}s -> warm {warm_seconds:.2f}s "
@@ -154,6 +188,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_throughput.json"),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="metrics.json with store-health gauges (default: metrics.json beside --output)",
     )
     args = parser.parse_args(argv)
 
@@ -201,6 +240,17 @@ def main(argv=None) -> int:
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    # Store-health gauges (hit/miss/quarantine rates) in standard merged
+    # metrics shape, alongside the throughput payload.
+    metrics_path = Path(
+        args.metrics_out
+        if args.metrics_out is not None
+        else Path(args.output).with_name("metrics.json")
+    )
+    metrics = obs.merge_snapshots([obs.registry().snapshot()])
+    metrics_path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {metrics_path}")
     return 0
 
 

@@ -2,15 +2,19 @@
 
 Commands:
 
-* ``run``     -- simulate one or more predictor configurations on workloads
-* ``report``  -- regenerate one of the paper's tables/figures
-* ``list``    -- show known workloads and predictor configurations
+* ``run``        -- simulate one or more predictor configurations on workloads
+* ``report``     -- regenerate one of the paper's tables/figures
+* ``obs-report`` -- render a merged telemetry run (spans, metrics, faults)
+* ``list``       -- show known workloads and predictor configurations
 
 Examples::
 
     python -m repro run --workload nodeapp --config tsl_64k --config llbpx
     python -m repro report fig12 --workloads kafka,nodeapp
     python -m repro report fig12 --jobs 4 --cache-dir ~/.cache/repro
+    python -m repro run --workload kafka --config llbp --telemetry .telemetry \
+        --sample-interval 20000 --metrics-out metrics.json
+    python -m repro obs-report .telemetry
     python -m repro list
 
 ``--jobs N`` fans uncached simulations out over N worker processes, one
@@ -28,10 +32,18 @@ Fault tolerance: parallel matrices retry crashed/failed cells
 (``--retries``, default 3), optionally bound each cell's wall-clock
 (``--cell-timeout SECONDS``), and recover from worker-pool deaths by
 rebuilding the pool -- results stay bit-identical because every cell is
-a pure function of its key.  Every run prints a one-line ``run report:
-... retries=N ... quarantined=N`` summary to stderr; ``--report PATH``
-writes the full per-cell report (attempts, retries, failures, timings,
+a pure function of its key.  Every run emits a one-line ``run report:
+... retries=N ... quarantined=N`` summary; ``--report PATH`` writes the
+full per-cell report (attempts, retries, failures, timings,
 cache/artifact health) as JSON.
+
+Observability: diagnostics flow through the ``repro`` logger
+(``--log-level``, default ``warning`` -- pass ``info`` to see progress,
+cache stats, and the run summary).  ``--telemetry DIR`` records spans,
+metrics, and fault events into per-process files under DIR (workers
+included; ``--sample-interval N`` additionally samples predictor
+internals every N branches).  ``--metrics-out PATH`` writes the merged
+metrics snapshot as JSON; ``obs-report DIR`` renders a recorded run.
 """
 
 from __future__ import annotations
@@ -39,8 +51,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List
 
+from repro import obs
 from repro.core import (
     ArtifactStore,
     ResultCache,
@@ -50,6 +64,8 @@ from repro.core import (
     reduction,
 )
 from repro.traces.workloads import WORKLOAD_NAMES
+
+logger = obs.get_logger("cli")
 
 KNOWN_CONFIGS = (
     "tsl_8k", "tsl_16k", "tsl_32k", "tsl_64k", "tsl_128k", "tsl_256k", "tsl_512k",
@@ -81,10 +97,11 @@ def _make_runner(args: argparse.Namespace) -> Runner:
     )
     if artifacts is not None and getattr(args, "warm_artifacts", False):
         built = artifacts.warm(WORKLOAD_NAMES, runner.config)
-        print(
-            f"artifacts: warmed {len(WORKLOAD_NAMES)} workloads ({built} built, "
-            f"{len(WORKLOAD_NAMES) - built} already present)",
-            file=sys.stderr,
+        logger.info(
+            "artifacts: warmed %d workloads (%d built, %d already present)",
+            len(WORKLOAD_NAMES),
+            built,
+            len(WORKLOAD_NAMES) - built,
         )
     return runner
 
@@ -95,10 +112,7 @@ def _progress_printer(total: int):
 
     def progress(workload: str, config: str, result) -> None:
         done[0] += 1
-        print(
-            f"[{done[0]:>3d}/{total}] {workload}/{config}  MPKI {result.mpki:.3f}",
-            file=sys.stderr,
-        )
+        logger.info("[%3d/%d] %s/%s  MPKI %.3f", done[0], total, workload, config, result.mpki)
 
     return progress
 
@@ -106,31 +120,64 @@ def _progress_printer(total: int):
 def _print_cache_stats(runner: Runner) -> None:
     if runner.cache is not None:
         stats = runner.cache.stats()
-        print(
-            f"cache: {stats['hits']} hits, {stats['misses']} misses, "
-            f"{stats['writes']} writes ({runner.sim_count} simulations)",
-            file=sys.stderr,
+        logger.info(
+            "cache: %d hits, %d misses, %d writes (%d simulations)",
+            stats["hits"],
+            stats["misses"],
+            stats["writes"],
+            runner.sim_count,
         )
     if runner.artifacts is not None:
         stats = runner.artifacts.stats()
-        print(
-            f"artifacts: {stats['bundle_loads']} bundle loads, "
-            f"{stats['bundle_writes']} bundle writes "
-            f"({runner.bundle_builds} bundle builds in this process)",
-            file=sys.stderr,
+        logger.info(
+            "artifacts: %d bundle loads, %d bundle writes (%d bundle builds in this process)",
+            stats["bundle_loads"],
+            stats["bundle_writes"],
+            runner.bundle_builds,
         )
 
 
+def _publish_run_gauges(runner: Runner) -> None:
+    """Mirror the run report's totals into metrics-registry gauges."""
+    registry = obs.registry()
+    totals = runner.report.totals()
+    for key in ("cells", "cached", "simulated", "attempts", "retries", "interruptions", "failures", "seconds"):
+        registry.gauge("run.%s" % key).set(float(totals[key]))
+    registry.gauge("run.pool_rebuilds").set(float(runner.report.pool_rebuilds))
+    registry.gauge("run.timeouts").set(float(runner.report.timeouts))
+    registry.gauge("run.serial_fallback").set(1.0 if runner.report.serial_fallback else 0.0)
+
+
+def _write_metrics(path: str) -> None:
+    """Write the merged (all processes) metrics snapshot as JSON."""
+    session = obs.current()
+    if session is not None:
+        obs.flush()
+        merged = obs.merged_metrics(session.directory)
+    else:
+        merged = obs.merge_snapshots([obs.registry().snapshot()])
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    logger.info("metrics written to %s", path)
+
+
 def _finish_run(args: argparse.Namespace, runner: Runner) -> None:
-    """End-of-run reporting: summary line, cache stats, ``--report`` JSON."""
-    print(runner.report.summary(runner), file=sys.stderr)
+    """End-of-run reporting: summary line, cache stats, ``--report`` JSON,
+    run gauges + ``--metrics-out`` snapshot, run-end telemetry event."""
+    logger.info("%s", runner.report.summary(runner))
     _print_cache_stats(runner)
+    _publish_run_gauges(runner)
     report_path = getattr(args, "report", None)
     if report_path:
         with open(report_path, "w") as handle:
             json.dump(runner.report.to_dict(runner), handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"run report written to {report_path}", file=sys.stderr)
+        logger.info("run report written to %s", report_path)
+    obs.emit_event("run-end", totals=runner.report.totals())
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path:
+        _write_metrics(metrics_path)
 
 
 def _workload_list(value: str) -> List[str]:
@@ -141,6 +188,15 @@ def _workload_list(value: str) -> List[str]:
                 f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
             )
     return names
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"telemetry directory not found: {directory}", file=sys.stderr)
+        return 1
+    print(obs.render_report(directory, top=args.top))
+    return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -283,6 +339,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-top", type=int, default=25, metavar="N",
         help="number of functions the --profile report shows (default: 25)",
     )
+    common.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="record spans, metrics, and fault events into per-process files "
+        "under DIR (parallel workers included); render with `repro obs-report DIR`",
+    )
+    common.add_argument(
+        "--sample-interval", type=int, default=0, metavar="N",
+        help="with --telemetry: sample predictor internals (occupancy, useful-bit "
+        "saturation, PB hit rate) every N branches (default: 0 = off, zero hot-path cost)",
+    )
+    common.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the merged end-of-run metrics snapshot (counters, gauges, "
+        "histograms from every process) as JSON to PATH",
+    )
+    common.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="warning",
+        help="verbosity of the repro logger on stderr (default: warning; "
+        "info shows progress, cache stats, and the run summary)",
+    )
 
     p_list = sub.add_parser("list", help="show workloads, configs, reports")
     p_list.set_defaults(func=cmd_list)
@@ -301,21 +377,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated workload subset (default: the figure's own set)",
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_obs = sub.add_parser(
+        "obs-report", help="render a recorded telemetry run (spans, metrics, fault timeline)"
+    )
+    p_obs.add_argument("directory", help="telemetry directory written by --telemetry")
+    p_obs.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="number of counters/gauges shown per section (default: 12)",
+    )
+    p_obs.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="warning",
+        help=argparse.SUPPRESS,
+    )
+    p_obs.set_defaults(func=cmd_obs_report)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "profile", False):
-        import cProfile
-        import pstats
+    # rebind the stderr handler every invocation: pytest's capsys swaps
+    # sys.stderr between tests, and a cached stream would miss capture
+    obs.configure_logging(getattr(args, "log_level", "warning"))
+    if getattr(args, "telemetry", None):
+        obs.configure(args.telemetry, sample_interval=getattr(args, "sample_interval", 0))
+    try:
+        with obs.span("cli", command=args.command):
+            if getattr(args, "profile", False):
+                import cProfile
+                import pstats
 
-        profiler = cProfile.Profile()
-        status = profiler.runcall(args.func, args)
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(args.profile_top)
+                profiler = cProfile.Profile()
+                status = profiler.runcall(args.func, args)
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(args.profile_top)
+            else:
+                status = args.func(args)
         return status
-    return args.func(args)
+    finally:
+        obs.shutdown()
 
 
 if __name__ == "__main__":

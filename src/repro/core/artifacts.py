@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.faults import stale_temp
 from repro.core.results_io import cache_digest
+from repro.obs.metrics import registry as obs_registry
 from repro.llbp.rcr import ContextStreams
 from repro.tage.streams import TraceTensors
 from repro.traces.generator import GENERATOR_VERSION
@@ -133,6 +134,9 @@ class ArtifactStore:
         self.quarantined = 0
         self.temps_swept = 0
         self._sweep_temps()
+        # plain-int attributes stay the public API; the metrics registry
+        # observes them through a weakly-held pull-collector
+        obs_registry().register_collector("artifact_store", self.stats)
 
     def _sweep_temps(self) -> int:
         """Remove atomic-writer temps orphaned by dead processes.

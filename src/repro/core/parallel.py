@@ -66,6 +66,16 @@ from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tup
 from repro.core.faults import active_injector
 from repro.core.results_io import TimingStore
 from repro.core.simulator import SimulationResult
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.telemetry import emit_event
+from repro.obs.telemetry import ensure as obs_ensure
+from repro.obs.telemetry import flush as obs_flush
+
+logger = get_logger("parallel")
+
+#: ``(telemetry directory, sample interval)`` shipped to workers
+TelemetryConfig = Tuple[str, int]
 
 #: one unit of work inside a chunk: ``(config name, config overrides)``
 ChunkCell = Tuple[str, Mapping[str, object]]
@@ -222,6 +232,7 @@ def simulate_cell(
     overrides: Mapping[str, object],
     artifact_dir: Optional[str] = None,
     in_worker: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Tuple[SimulationResult, float]:
     """Worker entry point: simulate one cell; returns (result, seconds).
 
@@ -231,14 +242,23 @@ def simulate_cell(
     first, so injected crashes/hangs land exactly where real ones do --
     inside a cell execution; ``in_worker=False`` (the serial-fallback
     path) keeps injected crashes from taking out the parent process.
+
+    ``telemetry`` attaches this worker to the run's telemetry directory
+    (per-pid event/metrics files; see :mod:`repro.obs`).  The metrics
+    snapshot is flushed after *every* completed cell, so a worker later
+    killed mid-run leaves exactly the counts of the cells it finished.
     """
     injector = active_injector()
     if injector is not None:
         injector.fire(workload, name, in_worker=in_worker)
+    if telemetry is not None and in_worker:
+        obs_ensure(telemetry[0], sample_interval=telemetry[1])
     runner = _worker_runner(config, artifact_dir)
     start = time.perf_counter()
     result = runner.run_one(workload, name, use_cache=False, **dict(overrides))
     seconds = time.perf_counter() - start
+    if telemetry is not None and in_worker:
+        obs_flush()
     # LRU-bound the bundles this worker keeps: re-admit the current
     # workload as most recent, then drop the oldest beyond the cap.
     bundle_key = (workload, config.num_branches, config.seed)
@@ -261,6 +281,7 @@ def run_cells_parallel(
     cost_model: Optional[CostModel] = None,
     policy: Optional[RetryPolicy] = None,
     report=None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Iterator[Tuple[Cell, SimulationResult]]:
     """Fan cells out over ``jobs`` processes, longest-expected-first.
 
@@ -316,8 +337,26 @@ def run_cells_parallel(
         workload, name, overrides = ordered[index]
         if report is not None:
             report.record_failure(workload, name, overrides, kind, detail)
+        obs_registry().counter("parallel.retries").inc()
         if attempts[index] > policy.retries:
+            logger.error(
+                "cell %s/%s failed (%s) after %d attempts: %s -- giving up",
+                workload,
+                name,
+                kind,
+                attempts[index],
+                detail,
+            )
             raise CellExecutionError(ordered[index], kind, detail, attempts[index])
+        logger.warning(
+            "cell %s/%s failed (%s): %s -- retry %d/%d",
+            workload,
+            name,
+            kind,
+            detail,
+            attempts[index],
+            policy.retries,
+        )
         delay = min(policy.backoff_cap, policy.backoff * (2 ** max(0, attempts[index] - 1)))
         pending.append((index, time.monotonic() + max(0.0, delay)))
 
@@ -335,6 +374,13 @@ def run_cells_parallel(
         consecutive_breaks += 1
         if report is not None:
             report.pool_rebuilds += 1
+        obs_registry().counter("parallel.pool_rebuilds").inc()
+        emit_event("pool-rebuild", detail=detail, consecutive=consecutive_breaks)
+        logger.warning(
+            "worker pool broke (%s); rebuilding (consecutive break %d)",
+            detail,
+            consecutive_breaks,
+        )
         indices = [index for index, _ in inflight.values()]
         inflight.clear()
         if pool is not None:
@@ -346,6 +392,11 @@ def run_cells_parallel(
             fallback = True
             if report is not None:
                 report.serial_fallback = True
+            emit_event("serial-fallback", consecutive=consecutive_breaks)
+            logger.warning(
+                "degrading to in-process serial execution after %d consecutive pool failures",
+                consecutive_breaks,
+            )
 
     try:
         while pending or inflight:
@@ -363,7 +414,13 @@ def run_cells_parallel(
                     report.record_attempt(workload, name, overrides)
                 try:
                     result, seconds = simulate_cell(
-                        config, workload, name, dict(overrides), artifact_dir, in_worker=False
+                        config,
+                        workload,
+                        name,
+                        dict(overrides),
+                        artifact_dir,
+                        in_worker=False,
+                        telemetry=telemetry,
                     )
                 except Exception as exc:
                     charge(index, "exception", repr(exc))
@@ -399,7 +456,14 @@ def run_cells_parallel(
                 workload, name, overrides = ordered[index]
                 try:
                     future = pool.submit(
-                        simulate_cell, config, workload, name, dict(overrides), artifact_dir
+                        simulate_cell,
+                        config,
+                        workload,
+                        name,
+                        dict(overrides),
+                        artifact_dir,
+                        True,
+                        telemetry,
                     )
                 except BrokenProcessPool as exc:  # pool died between rounds
                     pending.appendleft((index, 0.0))
@@ -467,8 +531,20 @@ def run_cells_parallel(
                     if report is not None:
                         report.timeouts += len(overdue)
                         report.pool_rebuilds += 1
+                    obs_registry().counter("parallel.timeouts").inc(len(overdue))
+                    obs_registry().counter("parallel.pool_rebuilds").inc()
                     for future in overdue:
                         index, _ = inflight.pop(future)
+                        workload, name, _ = ordered[index]
+                        emit_event(
+                            "cell-timeout", workload=workload, config=name, seconds=policy.timeout
+                        )
+                        logger.warning(
+                            "cell %s/%s exceeded %.1fs; killing the pool to reclaim its worker",
+                            workload,
+                            name,
+                            policy.timeout,
+                        )
                         charge(index, "timeout", f"exceeded {policy.timeout:.1f}s")
                     for future, (index, _) in list(inflight.items()):
                         interrupt(index)

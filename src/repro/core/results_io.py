@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.faults import active_injector, stale_temp
 from repro.core.simulator import SimulationResult
+from repro.obs.metrics import registry as obs_registry
 from repro.traces.generator import GENERATOR_VERSION
 
 _FORMAT_VERSION = 1
@@ -177,6 +178,10 @@ class TimingStore:
         #: snapshot of the on-disk state this store last loaded or wrote,
         #: so save() can tell which keys another process updated since
         self._synced: Dict[str, float] = dict(self._data)
+        obs_registry().register_collector("timing_store", self.stats)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._data)}
 
     def _read_disk(self) -> Dict[str, float]:
         """Current on-disk timings (empty on any error -- advisory data)."""
@@ -282,6 +287,9 @@ class ResultCache:
         self.quarantined = 0
         self.temps_swept = 0
         self._sweep_temps()
+        # per-instance counters stay plain ints (the attribute API above
+        # is public); the registry sees them through a weak pull-collector
+        obs_registry().register_collector("result_cache", self.stats)
 
     def _path(self, digest: str) -> Path:
         return self.cache_dir / f"{digest}.json"

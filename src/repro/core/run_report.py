@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.results_io import freeze_overrides
+from repro.obs.telemetry import emit_event
 
 REPORT_FORMAT_VERSION = 1
 
@@ -105,7 +106,9 @@ class RunReport:
     def record_attempt(
         self, workload: str, config: str, overrides: Optional[Mapping[str, object]] = None
     ) -> None:
-        self.cell(workload, config, overrides).attempts += 1
+        entry = self.cell(workload, config, overrides)
+        entry.attempts += 1
+        emit_event("cell-attempt", workload=workload, config=config, attempt=entry.attempts)
 
     def record_failure(
         self,
@@ -119,12 +122,21 @@ class RunReport:
         entry = self.cell(workload, config, overrides)
         entry.failures.append({"kind": kind, "detail": detail})
         entry.retries += 1
+        emit_event(
+            "cell-failure",
+            workload=workload,
+            config=config,
+            kind=kind,
+            detail=detail,
+            attempt=entry.attempts,
+        )
 
     def record_interruption(
         self, workload: str, config: str, overrides: Optional[Mapping[str, object]] = None
     ) -> None:
         """The cell's execution was collateral damage of another failure."""
         self.cell(workload, config, overrides).interruptions += 1
+        emit_event("cell-interruption", workload=workload, config=config)
 
     def record_success(
         self,
@@ -136,6 +148,7 @@ class RunReport:
         entry = self.cell(workload, config, overrides)
         entry.source = "simulated"
         entry.seconds += seconds
+        emit_event("cell-success", workload=workload, config=config, seconds=seconds)
 
     # -- aggregates ---------------------------------------------------------
 

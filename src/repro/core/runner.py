@@ -25,6 +25,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.artifacts import ArtifactStore
 from repro.core.run_report import RunReport
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.spans import span
+from repro.obs.telemetry import flush as obs_flush
+from repro.obs.telemetry import worker_config as obs_worker_config
 from repro.core.results_io import (
     TIMINGS_FILENAME,
     ResultCache,
@@ -144,28 +148,31 @@ class Runner:
         key = (workload, self.config.num_branches, self.config.seed)
         if key in self._bundles:
             return self._bundles[key]
-        if self.artifacts is not None:
+        with span("bundle", workload=workload):
+            if self.artifacts is not None:
+                start = time.perf_counter()
+                loaded = self.artifacts.load_bundle(workload, self.config)
+                if loaded is not None:
+                    self.artifact_load_seconds += time.perf_counter() - start
+                    self.bundle_loads += 1
+                    obs_registry().counter("runner.bundle_loads").inc()
+                    self._bundles[key] = loaded
+                    return loaded
             start = time.perf_counter()
-            loaded = self.artifacts.load_bundle(workload, self.config)
-            if loaded is not None:
-                self.artifact_load_seconds += time.perf_counter() - start
-                self.bundle_loads += 1
-                self._bundles[key] = loaded
-                return loaded
-        start = time.perf_counter()
-        trace = generate_workload(
-            workload, num_branches=self.config.num_branches, seed=self.config.seed
-        )
-        tensors = TraceTensors(trace)
-        bundle = WorkloadBundle(trace, tensors, ContextStreams(tensors))
-        self.bundle_builds += 1
-        if self.artifacts is not None:
-            # persists the columns now and the derived streams as they are
-            # computed (write-back hooks attach to tensors/contexts)
-            self.artifacts.save_bundle(workload, self.config, bundle)
-        self.bundle_build_seconds += time.perf_counter() - start
-        self._bundles[key] = bundle
-        return bundle
+            trace = generate_workload(
+                workload, num_branches=self.config.num_branches, seed=self.config.seed
+            )
+            tensors = TraceTensors(trace)
+            bundle = WorkloadBundle(trace, tensors, ContextStreams(tensors))
+            self.bundle_builds += 1
+            obs_registry().counter("runner.bundle_builds").inc()
+            if self.artifacts is not None:
+                # persists the columns now and the derived streams as they are
+                # computed (write-back hooks attach to tensors/contexts)
+                self.artifacts.save_bundle(workload, self.config, bundle)
+            self.bundle_build_seconds += time.perf_counter() - start
+            self._bundles[key] = bundle
+            return bundle
 
     def release(self, workload: str, results: bool = False) -> None:
         """Drop the cached trace/tensors of a workload (bounds memory).
@@ -264,23 +271,43 @@ class Runner:
         shared with the disk cache's content hash, so the two layers can
         never disagree (and name/override concatenation collisions are
         impossible).
+
+        Every execution is recorded in ``self.report`` (attempt, then
+        success with the cell's wall seconds *including* any bundle
+        build/load it paid for), so serial and direct-call runs populate
+        per-cell timings exactly like pool runs do; cache hits record a
+        ``cached`` cell.
         """
         if use_cache:
             cached = self.lookup_cached(workload, name, overrides)
             if cached is not None:
+                self.report.record_cached(workload, name, overrides)
                 return cached
-        bundle = self.bundle(workload)
-        start = time.perf_counter()
-        if name == "llbpx_optw":
-            result = self._run_optw(workload, bundle, **overrides)
-        else:
-            predictor = self.build_predictor(name, bundle, **overrides)
-            result = simulate(
-                predictor, bundle.trace, bundle.tensors, warmup_fraction=self.config.warmup_fraction
-            )
-            result.predictor = name
-        self.sim_seconds += time.perf_counter() - start
-        self.sim_count += 1
+        with span("cell", workload=workload, config=name):
+            self.report.record_attempt(workload, name, overrides)
+            cell_start = time.perf_counter()
+            bundle = self.bundle(workload)
+            start = time.perf_counter()
+            if name == "llbpx_optw":
+                result = self._run_optw(workload, bundle, **overrides)
+            else:
+                predictor = self.build_predictor(name, bundle, **overrides)
+                with span("simulate", workload=workload, config=name):
+                    result = simulate(
+                        predictor,
+                        bundle.trace,
+                        bundle.tensors,
+                        warmup_fraction=self.config.warmup_fraction,
+                    )
+                result.predictor = name
+            self.sim_seconds += time.perf_counter() - start
+            self.sim_count += 1
+            elapsed = time.perf_counter() - cell_start
+            self.report.record_success(workload, name, overrides, elapsed)
+            registry = obs_registry()
+            registry.counter("runner.simulations").inc()
+            registry.counter("runner.branches").inc(self.config.num_branches)
+            registry.histogram("cell.seconds").observe(elapsed)
         if use_cache:
             self._admit(workload, name, overrides, result)
         return result
@@ -355,40 +382,42 @@ class Runner:
                 if progress is not None:
                     progress(workload, name, result)
 
-        if jobs > 1 and len(pending) > 1:
-            from repro.core.parallel import CostModel, run_cells_parallel
+        with span("run_cells", cells=len(cells), pending=len(pending), jobs=jobs):
+            if jobs > 1 and len(pending) > 1:
+                from repro.core.parallel import CostModel, run_cells_parallel
 
-            artifact_dir = str(self.artifacts.root) if self.artifacts is not None else None
-            model = CostModel(self.timing_store())
-            for (workload, name, overrides), result in run_cells_parallel(
-                self.config,
-                list(cell_of.values()),
-                jobs,
-                artifact_dir=artifact_dir,
-                cost_model=model,
-                policy=self.retry_policy,
-                report=self.report,
-            ):
-                self.sim_count += 1
-                finish(result_key(workload, name, overrides), result)
-        else:
-            # serial: workload-major order so release_bundles bounds memory
-            by_workload: Dict[str, List[ResultKey]] = {}
-            for key in pending:
-                by_workload.setdefault(key[0], []).append(key)
-            for workload, keys in by_workload.items():
-                for key in keys:
-                    _, name, overrides = cell_of[key]
-                    self.report.record_attempt(workload, name, overrides)
-                    started = time.perf_counter()
-                    result = self.run_one(workload, name, use_cache=False, **overrides)
-                    elapsed = time.perf_counter() - started
-                    self.timing_store().observe(workload, name, elapsed)
-                    self.report.record_success(workload, name, overrides, elapsed)
-                    finish(key, result)
-                if release_bundles:
-                    self.release(workload)
-            self.timing_store().save()
+                artifact_dir = str(self.artifacts.root) if self.artifacts is not None else None
+                model = CostModel(self.timing_store())
+                for (workload, name, overrides), result in run_cells_parallel(
+                    self.config,
+                    list(cell_of.values()),
+                    jobs,
+                    artifact_dir=artifact_dir,
+                    cost_model=model,
+                    policy=self.retry_policy,
+                    report=self.report,
+                    telemetry=obs_worker_config(),
+                ):
+                    self.sim_count += 1
+                    finish(result_key(workload, name, overrides), result)
+            else:
+                # serial: workload-major order so release_bundles bounds
+                # memory.  run_one records the report attempt/success.
+                by_workload: Dict[str, List[ResultKey]] = {}
+                for key in pending:
+                    by_workload.setdefault(key[0], []).append(key)
+                for workload, keys in by_workload.items():
+                    for key in keys:
+                        _, name, overrides = cell_of[key]
+                        started = time.perf_counter()
+                        result = self.run_one(workload, name, use_cache=False, **overrides)
+                        elapsed = time.perf_counter() - started
+                        self.timing_store().observe(workload, name, elapsed)
+                        finish(key, result)
+                    if release_bundles:
+                        self.release(workload)
+                self.timing_store().save()
+        obs_flush()  # publish this process's metrics snapshot, if enabled
         return [out[index] for index in range(len(cells))]
 
     def run_matrix(

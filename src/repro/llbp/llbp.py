@@ -41,6 +41,7 @@ from repro.llbp.pattern import Pattern, PatternSet, UsefulTracker, make_bucket_r
 from repro.llbp.pattern_buffer import PatternBuffer, PBEntry
 from repro.llbp.pattern_store import PatternStore
 from repro.llbp.rcr import CONTEXT_KINDS, ContextStreams
+from repro.obs.sampling import active_sampler
 from repro.tage.config import HISTORY_LENGTHS, TageConfig, history_length_index
 from repro.tage.loop_predictor import _CONF_MAX
 from repro.tage.streams import TraceTensors, build_tag_streams
@@ -112,6 +113,31 @@ class LLBP:
         )
         #: fused predict+update entry point used by the simulation loop
         self.step = self._build_step()
+        sampler = active_sampler()
+        if sampler is not None:
+            # only wraps when telemetry sampling is enabled; the default
+            # hot path runs the bare fused kernel untouched
+            self.step = sampler.instrument(self.name, self.step, self.telemetry_sample)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Periodic sampler payload: PB health plus the base TAGE core.
+
+        ``pb.hit_rate`` is the cumulative pattern-buffer hit rate at the
+        sample point (hits over predictions so far), the in-flight view
+        of the paper's Fig 10 steady-state number.
+        """
+        predictions = self.stats.get("predictions")
+        sample = {
+            "pb.occupancy": len(self.pattern_buffer) / self.pattern_buffer.capacity,
+            "pb.hit_rate": self.stats.get("llbp_hits") / predictions if predictions else 0.0,
+            "pb.provide_rate": (
+                self.stats.get("llbp_provides") / predictions if predictions else 0.0
+            ),
+            "store.resident_sets": float(self.store.resident_sets()),
+        }
+        for key, value in self.tsl.tage.telemetry_sample().items():
+            sample["tage.%s" % key] = value
+        return sample
 
     # -- context handling ----------------------------------------------------------
 

@@ -171,3 +171,10 @@ class LLBPX(LLBP):
         extra["ctt_deep"] = float(self.ctt.deep_count())
         extra["deep_contexts_seen"] = float(len(self.deep_history))
         return extra
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        sample = super().telemetry_sample()
+        sample["ctt.tracked"] = float(self.ctt.tracked_count())
+        sample["ctt.deep"] = float(self.ctt.deep_count())
+        sample["ctt.deep_seen"] = float(len(self.deep_history))
+        return sample

@@ -1,0 +1,91 @@
+"""Crash-safe JSONL event sink and merger.
+
+Each process appends to its own ``events-<pid>.jsonl`` inside the
+telemetry directory — no cross-process file sharing, so a worker killed
+mid-write can only ever damage the final line of its own file.
+:func:`read_events` therefore skips lines that fail to parse (the torn
+tail of a killed worker) instead of raising, and the merged stream is
+simply the concatenation of every per-pid file sorted by timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["EventSink", "read_events"]
+
+EVENT_FILE_PREFIX = "events-"
+EVENT_FILE_SUFFIX = ".jsonl"
+
+
+class EventSink:
+    """Append-only JSONL writer for one process.
+
+    Every event is written and flushed as a single line so the file is
+    valid (bar at most one torn tail line) at every instant.  The sink
+    records the pid it was opened in and refuses to write from another
+    process — a forked child must open its own sink.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.pid = os.getpid()
+        self.path = self.directory / ("%s%d%s" % (EVENT_FILE_PREFIX, self.pid, EVENT_FILE_SUFFIX))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    def emit(self, event_type: str, **fields: object) -> None:
+        if self._closed or os.getpid() != self.pid:
+            return
+        event: Dict[str, object] = {"ts": time.time(), "pid": self.pid, "type": event_type}
+        event.update(fields)
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if os.getpid() == self.pid:
+                self._fh.close()
+
+
+def _iter_file(path: Path) -> Iterator[Dict[str, object]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn tail of a killed worker
+                if isinstance(event, dict):
+                    yield event
+    except OSError:
+        return
+
+
+def read_events(
+    directory: Union[str, Path], event_type: Optional[str] = None
+) -> List[Dict[str, object]]:
+    """All events from every per-pid file, sorted by timestamp.
+
+    Tolerates missing directories, unreadable files, and truncated
+    lines; optionally filters to one ``event_type``.
+    """
+    directory = Path(directory)
+    events: List[Dict[str, object]] = []
+    if not directory.is_dir():
+        return events
+    for path in sorted(directory.glob(EVENT_FILE_PREFIX + "*" + EVENT_FILE_SUFFIX)):
+        for event in _iter_file(path):
+            if event_type is None or event.get("type") == event_type:
+                events.append(event)
+    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
+    return events

@@ -1,0 +1,194 @@
+"""Render a merged telemetry run: span tree, top metrics, fault timeline.
+
+Works purely from the files in a telemetry directory (events + per-pid
+metrics snapshots), so it can be pointed at the output of a crashed run
+— killed workers contribute whatever they flushed before dying.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.events import read_events
+from repro.obs.metrics import Histogram
+from repro.obs.telemetry import merged_metrics
+
+__all__ = ["load_run", "render_report"]
+
+# Event types that belong on the fault/retry timeline.  ``cell-success``
+# is included only for cells that previously failed or were interrupted,
+# so a clean run has an empty timeline and a retried run shows
+# failure -> ... -> eventual success explicitly.
+FAULT_EVENT_TYPES = (
+    "cell-failure",
+    "cell-interruption",
+    "cell-timeout",
+    "pool-rebuild",
+    "serial-fallback",
+)
+
+
+class SpanNode:
+    __slots__ = ("name", "span_id", "parent_id", "pid", "ts_start", "wall", "cpu", "attrs", "children")
+
+    def __init__(self, event: Dict[str, object]) -> None:
+        self.name = str(event.get("name", "?"))
+        self.span_id = str(event.get("span_id", ""))
+        self.parent_id = event.get("parent_id")
+        self.pid = event.get("pid")
+        self.ts_start = float(event.get("ts_start", 0.0))  # type: ignore[arg-type]
+        self.wall = float(event.get("wall_seconds", 0.0))  # type: ignore[arg-type]
+        self.cpu = float(event.get("cpu_seconds", 0.0))  # type: ignore[arg-type]
+        attrs = event.get("attrs")
+        self.attrs = attrs if isinstance(attrs, dict) else {}
+        self.children: List["SpanNode"] = []
+
+    @property
+    def self_wall(self) -> float:
+        return max(0.0, self.wall - sum(c.wall for c in self.children))
+
+
+def build_span_tree(events: List[Dict[str, object]]) -> List[SpanNode]:
+    """Roots of the merged span forest (orphans promoted to roots)."""
+    nodes = {
+        str(e.get("span_id")): SpanNode(e)
+        for e in events
+        if e.get("type") == "span" and e.get("span_id")
+    }
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(str(node.parent_id)) if node.parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.ts_start)
+    roots.sort(key=lambda n: n.ts_start)
+    return roots
+
+
+def load_run(directory: Union[str, Path]) -> Dict[str, object]:
+    """Everything a report needs: events, span roots, merged metrics."""
+    directory = Path(directory)
+    events = read_events(directory)
+    return {
+        "directory": directory,
+        "events": events,
+        "spans": build_span_tree(events),
+        "metrics": merged_metrics(directory, include_local=False),
+        "pids": sorted({e.get("pid") for e in events if isinstance(e.get("pid"), int)}),
+    }
+
+
+def _fmt_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    return " " + " ".join("%s=%s" % (k, attrs[k]) for k in sorted(attrs))
+
+
+def _render_span(node: SpanNode, depth: int, lines: List[str]) -> None:
+    label = "%s%s%s" % ("  " * depth, node.name, _fmt_attrs(node.attrs))
+    lines.append(
+        "%-58s total %9.3fs  self %9.3fs  cpu %9.3fs  [pid %s]"
+        % (label[:58], node.wall, node.self_wall, node.cpu, node.pid)
+    )
+    for child in node.children:
+        _render_span(child, depth + 1, lines)
+
+
+def _cell_key(event: Dict[str, object]) -> str:
+    return "%s/%s" % (event.get("workload", "?"), event.get("config", "?"))
+
+
+def _timeline(events: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    failed = {_cell_key(e) for e in events if e.get("type") in ("cell-failure", "cell-interruption", "cell-timeout")}
+    picked = []
+    succeeded = set()
+    for event in events:
+        etype = event.get("type")
+        if etype in FAULT_EVENT_TYPES:
+            picked.append(event)
+        elif etype == "cell-success" and _cell_key(event) in failed:
+            # worker and parent both record the success; show it once
+            if _cell_key(event) not in succeeded:
+                succeeded.add(_cell_key(event))
+                picked.append(event)
+    return picked
+
+
+def _fmt_timeline_event(event: Dict[str, object], t0: float) -> str:
+    etype = str(event.get("type"))
+    offset = float(event.get("ts", t0)) - t0  # type: ignore[arg-type]
+    detail_keys = ("workload", "config", "kind", "detail", "attempt", "seconds", "consecutive")
+    details = " ".join(
+        "%s=%s" % (k, event[k]) for k in detail_keys if k in event and event[k] not in (None, "")
+    )
+    return "  +%8.3fs  %-17s %s" % (offset, etype, details)
+
+
+def render_report(directory: Union[str, Path], top: int = 12) -> str:
+    """A human-readable merged-run report (the ``obs-report`` payload)."""
+    run = load_run(directory)
+    events: List[Dict[str, object]] = run["events"]  # type: ignore[assignment]
+    spans: List[SpanNode] = run["spans"]  # type: ignore[assignment]
+    metrics: Dict[str, object] = run["metrics"]  # type: ignore[assignment]
+    lines: List[str] = []
+    lines.append("telemetry run: %s" % run["directory"])
+    lines.append(
+        "events: %d from %d process(es)" % (len(events), len(run["pids"]))  # type: ignore[arg-type]
+    )
+    lines.append("")
+    lines.append("span tree (wall/self/cpu seconds):")
+    if spans:
+        for root in spans:
+            _render_span(root, 1, lines)
+    else:
+        lines.append("  (no spans recorded)")
+
+    counters: Dict[str, float] = dict(metrics.get("counters", {}))  # type: ignore[arg-type]
+    gauges: Dict[str, float] = dict(metrics.get("gauges", {}))  # type: ignore[arg-type]
+    histograms: Dict[str, Dict[str, object]] = dict(metrics.get("histograms", {}))  # type: ignore[arg-type]
+
+    lines.append("")
+    lines.append("top counters:")
+    if counters:
+        ranked = sorted(counters.items(), key=lambda kv: (-abs(kv[1]), kv[0]))[:top]
+        for name, value in ranked:
+            lines.append("  %-48s %s" % (name, _fmt_num(value)))
+    else:
+        lines.append("  (none)")
+
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(gauges)[:top]:
+            lines.append("  %-48s %s" % (name, _fmt_num(gauges[name])))
+
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / p50 / p90 / p99):")
+        for name in sorted(histograms):
+            hist = Histogram.from_dict(name, histograms[name])
+            lines.append(
+                "  %-38s %6d  %8.4f  %8.4f  %8.4f  %8.4f"
+                % (name, hist.count, hist.mean, hist.percentile(50), hist.percentile(90), hist.percentile(99))
+            )
+
+    timeline = _timeline(events)
+    lines.append("")
+    lines.append("fault/retry timeline:")
+    if timeline:
+        t0 = min(float(e.get("ts", 0.0)) for e in timeline)  # type: ignore[arg-type]
+        for event in timeline:
+            lines.append(_fmt_timeline_event(event, t0))
+    else:
+        lines.append("  (no faults recorded)")
+    return "\n".join(lines)
+
+
+def _fmt_num(value: float) -> str:
+    if float(value).is_integer():
+        return "%d" % int(value)
+    return "%.6g" % value

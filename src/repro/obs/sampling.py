@@ -1,0 +1,74 @@
+"""Periodic in-simulation sampling of predictor internals.
+
+A predictor that exposes ``telemetry_sample() -> dict`` can have its
+fused ``step`` kernel wrapped by :meth:`Sampler.instrument`: every
+``interval`` branches the wrapper emits a ``sample`` event (occupancy,
+useful-bit saturation, pattern-buffer hit rate, ...) and mirrors the
+values into gauges named ``predictor.<name>.<metric>``.
+
+The wrapper only exists when telemetry is enabled *and* a positive
+sampling interval was requested (:func:`active_sampler` returns ``None``
+otherwise), so the default hot path runs the bare fused kernel — this
+is what keeps ``bench_hotpath.py --floor`` honest with telemetry off.
+Even when enabled, the per-branch cost is one integer decrement and
+compare; the dict-building sample itself runs once per ``interval``
+branches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.obs import telemetry as _telemetry
+from repro.obs.metrics import registry
+
+__all__ = ["Sampler", "active_sampler"]
+
+DEFAULT_SAMPLE_INTERVAL = 20000
+
+StepFn = Callable[[int, int, int], int]
+SampleFn = Callable[[], Mapping[str, float]]
+
+
+class Sampler:
+    """Wraps fused ``step`` kernels with an every-N-branches sample hook."""
+
+    def __init__(self, interval: int, session: "_telemetry.Telemetry") -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = int(interval)
+        self._session = session
+
+    def emit_sample(self, predictor: str, branch: int, values: Mapping[str, float]) -> None:
+        clean = {k: float(v) for k, v in values.items()}
+        self._session.emit("sample", predictor=predictor, branch=branch, values=clean)
+        reg = registry()
+        for key, value in clean.items():
+            reg.gauge("predictor.%s.%s" % (predictor, key)).set(value)
+
+    def instrument(self, predictor_name: str, step: StepFn, sample_fn: SampleFn) -> StepFn:
+        """Return a drop-in ``step`` that samples every ``interval`` branches."""
+        interval = self.interval
+        emit = self.emit_sample
+        state = {"left": interval, "seen": 0}
+
+        def sampled_step(t: int, pc: int, taken: int) -> int:
+            state["left"] -= 1
+            if not state["left"]:
+                state["left"] = interval
+                state["seen"] += interval
+                try:
+                    emit(predictor_name, state["seen"], sample_fn())
+                except Exception:
+                    pass  # sampling must never kill a simulation
+            return step(t, pc, taken)
+
+        return sampled_step
+
+
+def active_sampler() -> Optional[Sampler]:
+    """The sampler for this process, or ``None`` when sampling is off."""
+    session = _telemetry.current()
+    if session is None or session.sample_interval <= 0:
+        return None
+    return Sampler(session.sample_interval, session)

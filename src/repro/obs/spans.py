@@ -1,0 +1,72 @@
+"""Nested wall/CPU timing spans.
+
+``span("simulate", workload=..., config=...)`` is a context manager
+that, when telemetry is enabled, emits one ``span`` event on exit with
+wall seconds, CPU (process) seconds, and a ``span_id``/``parent_id``
+pair linking it into the tree.  Span ids are 64-bit random hex drawn
+from ``os.urandom`` so they are unique across processes without
+coordination; a worker forked while the parent held ``run_cells`` open
+inherits the span stack and its ``cell`` spans parent onto the
+dispatching span, which is exactly the tree a reader expects.
+
+With telemetry disabled the context manager is a single ``None`` check
+— spans sit at cell granularity (never inside the per-branch loop), so
+this costs nothing measurable either way.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs import telemetry as _telemetry
+from repro.obs.metrics import registry
+
+__all__ = ["span", "current_span_id"]
+
+# One stack per process; inherited over fork on purpose (see module doc).
+_STACK: List[str] = []
+
+
+def _new_span_id() -> str:
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+def current_span_id() -> Optional[str]:
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[str]]:
+    """Time a region; no-op (yielding ``None``) when telemetry is off."""
+    session = _telemetry.current()
+    if session is None:
+        yield None
+        return
+    span_id = _new_span_id()
+    parent_id = current_span_id()
+    _STACK.append(span_id)
+    ts_start = time.time()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        yield span_id
+    finally:
+        wall = time.perf_counter() - wall_start
+        cpu = time.process_time() - cpu_start
+        if _STACK and _STACK[-1] == span_id:
+            _STACK.pop()
+        registry().histogram("span.%s.seconds" % name).observe(wall)
+        session.emit(
+            "span",
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            ts_start=ts_start,
+            wall_seconds=wall,
+            cpu_seconds=cpu,
+            attrs={k: v for k, v in attrs.items()},
+        )

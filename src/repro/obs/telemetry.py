@@ -1,0 +1,211 @@
+"""The process-global telemetry session.
+
+One :class:`Telemetry` per process, created by :func:`configure` (the
+CLI/parent) or :func:`ensure` (pool workers, which receive the
+directory + sampling interval explicitly from :func:`worker_config`
+through the task payload rather than ambient environment variables —
+deterministic under both ``fork`` and ``spawn`` start methods, and no
+state leaks between tests).
+
+Fork safety: :func:`current` compares the session's pid to the caller's
+and drops an inherited parent session, so a forked worker never writes
+into the parent's per-pid files; its first :func:`ensure` call opens
+fresh ``events-<pid>.jsonl``/``metrics-<pid>.json`` and resets the
+(inherited) metrics registry so parent totals are not double-counted in
+the merge.
+
+Crash safety: workers flush a full metrics snapshot after *every*
+completed cell (atomic temp+rename), so a worker later killed by
+SIGKILL leaves behind exactly the counts of the cells it finished;
+:func:`merged_metrics` sums whatever per-pid snapshots exist.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.events import EventSink
+from repro.obs.metrics import merge_snapshots, registry
+
+__all__ = [
+    "Telemetry",
+    "configure",
+    "current",
+    "emit_event",
+    "enabled",
+    "ensure",
+    "flush",
+    "merged_metrics",
+    "shutdown",
+    "worker_config",
+]
+
+METRICS_FILE_PREFIX = "metrics-"
+METRICS_FILE_SUFFIX = ".json"
+META_FILENAME = "meta.json"
+
+
+class Telemetry:
+    """One process's telemetry session: event sink + metrics flushing."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        sample_interval: int = 0,
+        role: str = "parent",
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.pid = os.getpid()
+        self.sample_interval = int(sample_interval)
+        self.role = role
+        self.sink = EventSink(self.directory)
+        if role == "parent":
+            self._write_meta()
+
+    def _write_meta(self) -> None:
+        meta = {
+            "started": time.time(),
+            "parent_pid": self.pid,
+            "sample_interval": self.sample_interval,
+        }
+        tmp = self.directory / (META_FILENAME + ".tmp.%d" % self.pid)
+        try:
+            tmp.write_text(json.dumps(meta, sort_keys=True))
+            os.replace(tmp, self.directory / META_FILENAME)
+        except OSError:
+            pass
+
+    def emit(self, event_type: str, **fields: object) -> None:
+        self.sink.emit(event_type, **fields)
+
+    def flush_metrics(self) -> None:
+        """Atomically publish this process's current metrics snapshot."""
+        if os.getpid() != self.pid:
+            return
+        snap = registry().snapshot()
+        path = self.directory / ("%s%d%s" % (METRICS_FILE_PREFIX, self.pid, METRICS_FILE_SUFFIX))
+        tmp = self.directory / ("%s%d%s.tmp" % (METRICS_FILE_PREFIX, self.pid, METRICS_FILE_SUFFIX))
+        try:
+            tmp.write_text(json.dumps(snap, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self.flush_metrics()
+        self.sink.close()
+
+
+_CURRENT: Optional[Telemetry] = None
+
+
+def current() -> Optional[Telemetry]:
+    """This process's session, or ``None``; drops inherited fork copies."""
+    global _CURRENT
+    session = _CURRENT
+    if session is not None and session.pid != os.getpid():
+        _CURRENT = None  # forked child: parent's session is not ours
+        return None
+    return session
+
+
+def enabled() -> bool:
+    return current() is not None
+
+
+def configure(
+    directory: Union[str, Path], sample_interval: int = 0, role: str = "parent"
+) -> Telemetry:
+    """Start (or replace) this process's telemetry session.
+
+    A session scopes the metrics registry: starting one discards any
+    counts (and collectors) accumulated beforehand in this process, so
+    the per-pid snapshot reflects only work done under the session.
+    """
+    global _CURRENT
+    previous = current()
+    if previous is not None:
+        previous.close()
+    registry().reset()
+    _CURRENT = Telemetry(directory, sample_interval=sample_interval, role=role)
+    return _CURRENT
+
+
+def ensure(directory: Union[str, Path], sample_interval: int = 0) -> Telemetry:
+    """Worker-side init: reuse a live same-directory session or build one.
+
+    On first call in a forked/spawned worker this also resets the
+    metrics registry, discarding any counts inherited from the parent so
+    the per-pid snapshot holds only this worker's work.
+    """
+    session = current()
+    if session is not None and session.directory == Path(directory):
+        return session
+    registry().reset()
+    return configure(directory, sample_interval=sample_interval, role="worker")
+
+
+def shutdown() -> None:
+    """Flush and close this process's session (idempotent)."""
+    global _CURRENT
+    session = current()
+    if session is not None:
+        session.close()
+    _CURRENT = None
+
+
+def flush() -> None:
+    session = current()
+    if session is not None:
+        session.flush_metrics()
+
+
+def emit_event(event_type: str, **fields: object) -> None:
+    """Emit an event iff telemetry is enabled; otherwise free."""
+    session = current()
+    if session is not None:
+        session.emit(event_type, **fields)
+
+
+def worker_config() -> Optional[Tuple[str, int]]:
+    """``(directory, sample_interval)`` to ship to pool workers, or None."""
+    session = current()
+    if session is None:
+        return None
+    return (str(session.directory), session.sample_interval)
+
+
+def merged_metrics(
+    directory: Union[str, Path], include_local: bool = True
+) -> Dict[str, object]:
+    """Merge every per-pid metrics snapshot in ``directory``.
+
+    ``include_local`` folds in the calling process's live registry when
+    it has not yet flushed its own file (parent-side convenience); if a
+    file for this pid exists on disk the live registry wins for it.
+    """
+    directory = Path(directory)
+    snapshots: List[Dict[str, object]] = []
+    local_pid = os.getpid()
+    seen_local_file = False
+    if directory.is_dir():
+        for path in sorted(directory.glob(METRICS_FILE_PREFIX + "*" + METRICS_FILE_SUFFIX)):
+            try:
+                snap = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(snap, dict):
+                continue
+            if snap.get("pid") == local_pid:
+                if include_local:
+                    continue  # live registry supersedes our own stale file
+                seen_local_file = True
+            snapshots.append(snap)
+    if include_local and not seen_local_file:
+        snapshots.append(registry().snapshot())
+    return merge_snapshots(snapshots)

@@ -559,3 +559,29 @@ class TageCore:
         if self.config.infinite:
             return sum(len(table) for table in self._inf_tables)
         return sum(1 for tags in self._tags for tag in tags if tag != _EMPTY)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Point-in-time internals snapshot for the obs sampler.
+
+        Finite mode reports table occupancy and the fraction of valid
+        entries whose useful counter is saturated (the signal the paper's
+        §V tuning discussion reads); infinite mode has no capacity, so it
+        reports the raw entry count instead.  Runs per sampling interval
+        (never per branch), so numpy full-table scans are fine.
+        """
+        sample: Dict[str, float] = {"use_alt": float(self._use_alt)}
+        if self.config.infinite:
+            sample["entries"] = float(self.entry_count())
+            return sample
+        valid_total = 0
+        saturated = 0
+        for tags, useful in zip(self._tags, self._useful):
+            tag_arr = np.frombuffer(tags, dtype="i%d" % tags.itemsize)
+            useful_arr = np.frombuffer(useful, dtype=np.int8)
+            valid = tag_arr != _EMPTY
+            valid_total += int(valid.sum())
+            saturated += int((useful_arr[valid] >= self._u_max).sum())
+        capacity = len(self._tags) * self.entries_per_table
+        sample["occupancy"] = valid_total / capacity if capacity else 0.0
+        sample["useful_saturation"] = saturated / valid_total if valid_total else 0.0
+        return sample

@@ -12,9 +12,10 @@ the plain standalone-TSL behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.common.stats import StatGroup
+from repro.obs.sampling import active_sampler
 from repro.tage.config import TageConfig
 from repro.tage.loop_predictor import _CONF_MAX, LoopPrediction, LoopPredictor
 from repro.tage.statistical_corrector import SCPrediction, StatisticalCorrector
@@ -49,6 +50,15 @@ class TageSCL:
         self.stats = StatGroup(f"tsl[{config.name}]")
         #: fused predict+update entry point used by the simulation loop
         self.step = self._build_step()
+        sampler = active_sampler()
+        if sampler is not None:
+            # only wraps when telemetry sampling is enabled; the default
+            # hot path runs the bare fused kernel untouched
+            self.step = sampler.instrument(self.name, self.step, self.telemetry_sample)
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Periodic sampler payload: the TAGE core's internals."""
+        return {"tage.%s" % key: value for key, value in self.tage.telemetry_sample().items()}
 
     # -- staged prediction (used directly by the LLBP wrappers) -----------------
 

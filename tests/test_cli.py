@@ -80,6 +80,23 @@ class TestParser:
         defaults = build_parser().parse_args(["report", "fig12"])
         assert not defaults.profile and defaults.profile_top == 25
 
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "kafka", "--config", "llbp",
+             "--telemetry", "/tmp/t", "--sample-interval", "5000",
+             "--metrics-out", "/tmp/m.json", "--log-level", "info"]
+        )
+        assert args.telemetry == "/tmp/t" and args.sample_interval == 5000
+        assert args.metrics_out == "/tmp/m.json" and args.log_level == "info"
+        defaults = build_parser().parse_args(["report", "fig12"])
+        assert defaults.telemetry is None and defaults.sample_interval == 0
+        assert defaults.metrics_out is None and defaults.log_level == "warning"
+
+    def test_obs_report_flags(self):
+        args = build_parser().parse_args(["obs-report", "/tmp/t", "--top", "5"])
+        assert args.command == "obs-report"
+        assert args.directory == "/tmp/t" and args.top == 5
+
 
 class TestExecution:
     def test_list_exits_zero(self, capsys):
@@ -125,7 +142,7 @@ class TestExecution:
 
     def test_run_with_cache_dir_reuses_results(self, capsys, tmp_path):
         argv = ["run", "--workload", "kafka", "--config", "tsl_64k",
-                "--branches", "5000", "--cache-dir", str(tmp_path)]
+                "--branches", "5000", "--cache-dir", str(tmp_path), "--log-level", "info"]
         assert main(argv) == 0
         first = capsys.readouterr()
         assert main(argv) == 0
@@ -135,7 +152,7 @@ class TestExecution:
 
     def test_run_with_artifact_dir_reuses_bundles(self, capsys, tmp_path):
         argv = ["run", "--workload", "kafka", "--config", "tsl_64k",
-                "--branches", "5000", "--artifact-dir", str(tmp_path)]
+                "--branches", "5000", "--artifact-dir", str(tmp_path), "--log-level", "info"]
         assert main(argv) == 0
         first = capsys.readouterr()
         assert "1 bundle writes" in first.err
@@ -146,16 +163,24 @@ class TestExecution:
 
     def test_run_prints_report_summary_line(self, capsys):
         assert main(["run", "--workload", "kafka", "--config", "tsl_64k",
-                     "--branches", "5000"]) == 0
+                     "--branches", "5000", "--log-level", "info"]) == 0
         err = capsys.readouterr().err
         assert "run report:" in err and "retries=0" in err and "quarantined=0" in err
+
+    def test_default_log_level_keeps_stderr_quiet(self, capsys):
+        assert main(["run", "--workload", "kafka", "--config", "tsl_64k",
+                     "--branches", "5000"]) == 0
+        captured = capsys.readouterr()
+        assert "MPKI" in captured.out
+        assert "run report:" not in captured.err  # info lines hidden by default
 
     def test_run_writes_report_json(self, capsys, tmp_path):
         import json
 
         report_path = tmp_path / "report.json"
         code = main(["run", "--workload", "kafka", "--config", "tsl_64k",
-                     "--branches", "5000", "--report", str(report_path)])
+                     "--branches", "5000", "--report", str(report_path),
+                     "--log-level", "info"])
         assert code == 0
         assert f"run report written to {report_path}" in capsys.readouterr().err
         payload = json.loads(report_path.read_text())
@@ -177,13 +202,42 @@ class TestExecution:
         )
         code = main(["run", "--workload", "kafka", "--workload", "nodeapp",
                      "--config", "tsl_64k", "--branches", "5000", "--jobs", "2",
-                     "--report", str(tmp_path / "r.json")])
+                     "--report", str(tmp_path / "r.json"), "--log-level", "info"])
         assert code == 0
         err = capsys.readouterr().err
         assert "pool_rebuilds=" in err
         payload = json.loads((tmp_path / "r.json").read_text())
         assert payload["totals"]["retries"] >= 1
         assert payload["pool_rebuilds"] >= 1
+
+    def test_run_with_telemetry_and_obs_report(self, capsys, tmp_path):
+        import json
+
+        tel_dir = tmp_path / "tel"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["run", "--workload", "kafka", "--config", "tsl_64k",
+                     "--branches", "5000", "--telemetry", str(tel_dir),
+                     "--sample-interval", "1000", "--metrics-out", str(metrics_path)])
+        assert code == 0
+        capsys.readouterr()
+        # telemetry directory has per-pid event + metrics files
+        assert list(tel_dir.glob("events-*.jsonl"))
+        assert (tel_dir / "meta.json").exists()
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["runner.simulations"] == 1
+        assert metrics["counters"]["runner.branches"] == 5000
+        assert "span.simulate.seconds" in metrics["histograms"]
+        # sampling gauges were recorded (interval 1000 over 5000 branches)
+        assert any(name.startswith("predictor.tsl_64k.") for name in metrics["gauges"])
+        # obs-report renders the run with a populated span tree
+        assert main(["obs-report", str(tel_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out and "simulate" in out and "cli" in out
+        assert "runner.simulations" in out
+
+    def test_obs_report_missing_directory_errors(self, capsys, tmp_path):
+        assert main(["obs-report", str(tmp_path / "nope")]) == 1
+        assert "telemetry directory not found" in capsys.readouterr().err
 
     def test_run_no_cache_skips_cache(self, capsys, tmp_path):
         argv = ["run", "--workload", "kafka", "--config", "tsl_64k", "--branches",
