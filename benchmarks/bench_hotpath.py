@@ -14,12 +14,23 @@ CI uses this on a short trace with a deliberately conservative floor, so
 only order-of-magnitude regressions (an accidentally de-specialised
 kernel, a resurrected per-branch allocation) trip it on shared runners.
 
+``--backend`` adds an execution-backend axis on top of the kernel one:
+``reference`` and ``batched`` time the whole config column as one
+``run_cells`` call on that backend; ``compare`` times both, asserts the
+results are bit-identical, and reports the batched speedup (gated by
+``--batched-floor``).  ``--capacity-sweep N`` swaps the column for the
+Fig-16-style group batching was built for: ``tsl_64k`` plus ``N - 1``
+``llbpx_0lat`` capacity lanes sharing one base.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py
     PYTHONPATH=src python benchmarks/bench_hotpath.py \
         --workload nodeapp --branches 40000 --configs tsl_64k,llbp,llbpx \
         --floor 25000 --json BENCH_hotpath.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --backend compare --capacity-sweep 5 --branches 40000 \
+        --batched-floor 1.05
 """
 
 from __future__ import annotations
@@ -34,7 +45,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.core import Runner, RunnerConfig
-from repro.core.simulator import simulate
+from repro.core.simulator import BACKEND_BATCHED, BACKEND_REFERENCE, simulate
+from repro.experiments.fig16_capacity import FIG16A_CONTEXTS
 
 DEFAULT_CONFIGS = "tsl_64k,llbp,llbpx"
 
@@ -71,6 +83,72 @@ def bench_config(runner: Runner, workload: str, name: str) -> dict:
     }
 
 
+def sweep_cells(workload: str, configs: list, lanes: int) -> list:
+    """The cell column a group-backend run times.
+
+    Without ``--capacity-sweep`` it is one lane per ``--configs`` entry;
+    with it, ``tsl_64k`` plus ``lanes - 1`` LLBP-X capacity points -- the
+    shared-base group the batched backend exists for.
+    """
+    if lanes <= 0:
+        return [(workload, name, {}) for name in configs]
+    cells = [(workload, "tsl_64k", {})]
+    for contexts in FIG16A_CONTEXTS[: lanes - 1]:
+        cells.append((workload, "llbpx_0lat", {"num_contexts": contexts, "store_assoc": 64}))
+    return cells
+
+
+def bench_backend(config: RunnerConfig, workload: str, cells: list, backend: str) -> tuple:
+    """Time one ``run_cells`` pass of ``cells`` on ``backend``.
+
+    The workload bundle is built before the clock starts: both backends
+    pay the same (untimed) precomputation, so the measurement isolates
+    the simulation loops.  Returns ``(seconds, results)``.
+    """
+    runner = Runner(config, backend=backend)
+    runner.bundle(workload)
+    start = time.perf_counter()
+    results = runner.run_cells(cells, release_bundles=False)
+    return time.perf_counter() - start, results
+
+
+def bench_backends(args, configs: list) -> dict:
+    """The ``--backend`` modes: per-backend column timing (+ comparison)."""
+    cells = sweep_cells(args.workload, configs, args.capacity_sweep)
+    run_config = RunnerConfig(scale=args.scale, num_branches=args.branches)
+    lanes = len(cells)
+    total_branches = lanes * args.branches
+    backends = (
+        (BACKEND_REFERENCE, BACKEND_BATCHED)
+        if args.backend == "compare"
+        else (args.backend,)
+    )
+    label = ", ".join(f"{w}/{n}" for w, n, _ in cells)
+    print(f"backend column: {lanes} lane(s) [{label}]")
+    section = {"lanes": lanes, "cells": [[w, n, o] for w, n, o in cells], "backends": {}}
+    results_by_backend = {}
+    for backend in backends:
+        seconds, results = bench_backend(run_config, args.workload, cells, backend)
+        results_by_backend[backend] = results
+        rate = total_branches / seconds
+        section["backends"][backend] = {
+            "seconds": round(seconds, 4),
+            "lane_branches_per_second": round(rate),
+        }
+        print(f"{backend:>10s}: {seconds:8.3f}s  {rate:>9.0f} lane-branches/s")
+    if args.backend == "compare":
+        assert results_by_backend[BACKEND_REFERENCE] == results_by_backend[BACKEND_BATCHED], (
+            "batched backend diverged from reference"
+        )
+        speedup = (
+            section["backends"][BACKEND_REFERENCE]["seconds"]
+            / section["backends"][BACKEND_BATCHED]["seconds"]
+        )
+        section["speedup"] = round(speedup, 3)
+        print(f"   speedup: x{speedup:.2f} (results bit-identical)")
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--workload", default="nodeapp", help="workload profile to simulate")
@@ -82,24 +160,46 @@ def main(argv=None) -> int:
         help="fail (exit 1) if any config's fused rate is below this",
     )
     parser.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--backend", default="kernels",
+        choices=("kernels", "reference", "batched", "compare"),
+        help="what to time: per-config kernels (default), or the whole "
+             "config column on one execution backend (compare times both "
+             "and asserts bit-identity)",
+    )
+    parser.add_argument(
+        "--capacity-sweep", type=int, default=0, metavar="LANES",
+        help="backend modes only: replace --configs with tsl_64k plus "
+             "LANES-1 Fig-16 llbpx_0lat capacity lanes",
+    )
+    parser.add_argument(
+        "--batched-floor", type=float, default=None, metavar="RATIO",
+        help="compare mode only: fail (exit 1) if the batched speedup "
+             "over reference is below RATIO",
+    )
     args = parser.parse_args(argv)
 
     configs = [c.strip() for c in args.configs.split(",") if c.strip()]
-    runner = Runner(RunnerConfig(scale=args.scale, num_branches=args.branches))
 
     print(
         f"hot path: {args.workload}, {args.branches} branches, "
         f"configs {', '.join(configs)}, cpu_count={os.cpu_count()}"
     )
+
+    backend_section = None
     rows = []
-    for name in configs:
-        row = bench_config(runner, args.workload, name)
-        rows.append(row)
-        print(
-            f"{name:>10s}: unfused {row['unfused_branches_per_second']:>8d} br/s  "
-            f"fused {row['fused_branches_per_second']:>8d} br/s  "
-            f"x{row['speedup']:.2f}  ({row['mispredictions']} mispredictions, identical)"
-        )
+    if args.backend != "kernels":
+        backend_section = bench_backends(args, configs)
+    else:
+        runner = Runner(RunnerConfig(scale=args.scale, num_branches=args.branches))
+        for name in configs:
+            row = bench_config(runner, args.workload, name)
+            rows.append(row)
+            print(
+                f"{name:>10s}: unfused {row['unfused_branches_per_second']:>8d} br/s  "
+                f"fused {row['fused_branches_per_second']:>8d} br/s  "
+                f"x{row['speedup']:.2f}  ({row['mispredictions']} mispredictions, identical)"
+            )
 
     payload = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -116,9 +216,24 @@ def main(argv=None) -> int:
         },
         "results": rows,
     }
+    if backend_section is not None:
+        payload["backend_comparison"] = backend_section
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+
+    if args.batched_floor is not None:
+        if backend_section is None or "speedup" not in backend_section:
+            print("FAIL: --batched-floor requires --backend compare", file=sys.stderr)
+            return 1
+        if backend_section["speedup"] < args.batched_floor:
+            print(
+                f"FAIL: batched speedup x{backend_section['speedup']:.2f} "
+                f"below floor x{args.batched_floor:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"batched floor check passed (x{backend_section['speedup']:.2f} >= x{args.batched_floor:.2f})")
 
     if args.floor is not None:
         slow = [r for r in rows if r["fused_branches_per_second"] < args.floor]

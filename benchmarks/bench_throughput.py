@@ -10,7 +10,10 @@ Measures the experiment execution layer itself (not a paper figure):
   wall-clock with a *cold result cache* (every cell still simulates; only
   bundle construction is skipped), with the warm run asserted to perform
   zero trace generations.  Each run reports its phase breakdown -- bundle
-  build vs artifact load vs simulate seconds.
+  build vs artifact load vs simulate seconds, and
+* the execution backends: the full matrix and a Fig-16-style capacity
+  sweep timed on the ``reference`` backend vs the config-batched one,
+  results asserted bit-identical before the timings count.
 
 Results go to ``BENCH_throughput.json`` (repo root by default), seeding
 the repo's performance trajectory -- future perf PRs re-run this and
@@ -178,6 +181,55 @@ def bench_artifacts(config, workloads, configs):
         }
 
 
+def _timed_backend_run(config, backend, run):
+    """One cold, serial run on ``backend``; returns (seconds, results)."""
+    clear_trace_cache()
+    runner = Runner(config, backend=backend)
+    start = time.perf_counter()
+    results = run(runner)
+    return time.perf_counter() - start, results
+
+
+def bench_backends(config, workloads, configs):
+    """Reference vs config-batched execution, bit-identity asserted.
+
+    Two shapes: the benchmark matrix itself (each workload's config
+    column becomes one shared-base group), and the Fig-16-style capacity
+    sweep -- ``tsl_64k`` plus six ``llbpx_0lat`` lanes over one bundle --
+    that the batched backend was built for.
+    """
+    section = {}
+    sweep_cells = [(workloads[0], "tsl_64k", {})] + [
+        (workloads[0], "llbpx_0lat", {"num_contexts": contexts, "store_assoc": 64})
+        for contexts in (1024, 2048, 4096, 8192, 14336, 32768)
+    ]
+    shapes = (
+        ("matrix", lambda runner: runner.run_matrix(workloads, configs, jobs=1)),
+        ("capacity_sweep", lambda runner: runner.run_cells(sweep_cells)),
+    )
+    for shape, run in shapes:
+        seconds = {}
+        results = {}
+        for backend in ("reference", "batched"):
+            seconds[backend], results[backend] = _timed_backend_run(config, backend, run)
+        assert results["reference"] == results["batched"], (
+            f"{shape}: batched backend diverged from reference"
+        )
+        speedup = seconds["reference"] / seconds["batched"]
+        lanes = len(sweep_cells) if shape == "capacity_sweep" else len(configs)
+        section[shape] = {
+            "lanes_per_group": lanes,
+            "reference_seconds": round(seconds["reference"], 3),
+            "batched_seconds": round(seconds["batched"], 3),
+            "speedup": round(speedup, 3),
+        }
+        print(
+            f"backends/{shape}: reference {seconds['reference']:.2f}s -> "
+            f"batched {seconds['batched']:.2f}s (x{speedup:.2f}, bit-identical)"
+        )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--workloads", default=DEFAULT_WORKLOADS, help="comma-separated")
@@ -208,6 +260,7 @@ def main(argv=None) -> int:
     matrix_runs = bench_jobs_sweep(config, workloads, configs, jobs_levels)
     cache_stats = bench_cache(config, workloads, configs)
     artifact_stats = bench_artifacts(config, workloads, configs)
+    backend_stats = bench_backends(config, workloads, configs)
 
     payload = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -226,6 +279,7 @@ def main(argv=None) -> int:
         "matrix": matrix_runs,
         "cache": cache_stats,
         "artifacts": artifact_stats,
+        "backends": backend_stats,
         "notes": (
             "speedup_vs_jobs1 is bounded by machine.cpu_count; on a >=4-core "
             "machine jobs=4 approaches 4x on this embarrassingly parallel "
@@ -235,7 +289,12 @@ def main(argv=None) -> int:
             "simulates; the warm run performs zero trace generations -- "
             "bundles mmap from the store). phases split wall-clock into "
             "bundle build / artifact load / simulate (jobs=1 runs only; "
-            "parallel runs spend these inside workers)."
+            "parallel runs spend these inside workers). matrix runs use the "
+            "default auto backend (shared-base groups per workload column); "
+            "backends compares reference vs config-batched serial execution "
+            "on the matrix and on a 7-lane Fig-16 capacity sweep, with "
+            "results asserted bit-identical. batched gains scale with lane "
+            "count and base-config share of lane cost, not with core count."
         ),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

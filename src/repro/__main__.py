@@ -94,6 +94,7 @@ def _make_runner(args: argparse.Namespace) -> Runner:
         cache=cache,
         artifacts=artifacts,
         retry_policy=policy,
+        backend=getattr(args, "backend", None),
     )
     if artifacts is not None and getattr(args, "warm_artifacts", False):
         built = artifacts.warm(WORKLOAD_NAMES, runner.config)
@@ -141,7 +142,7 @@ def _publish_run_gauges(runner: Runner) -> None:
     """Mirror the run report's totals into metrics-registry gauges."""
     registry = obs.registry()
     totals = runner.report.totals()
-    for key in ("cells", "cached", "simulated", "attempts", "retries", "interruptions", "failures", "seconds"):
+    for key in ("cells", "cached", "simulated", "attempts", "retries", "interruptions", "failures", "seconds", "batched_groups", "batched_lanes"):
         registry.gauge("run.%s" % key).set(float(totals[key]))
     registry.gauge("run.pool_rebuilds").set(float(runner.report.pool_rebuilds))
     registry.gauge("run.timeouts").set(float(runner.report.timeouts))
@@ -297,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for experiment matrices (1 = serial; results are bit-identical)",
+    )
+    common.add_argument(
+        "--backend", choices=("auto", "reference", "batched"), default="auto",
+        help="execution backend: 'batched' runs cells sharing a trace bundle and "
+        "base TAGE config over one shared base (bit-identical results), "
+        "'reference' forces the per-cell fused kernels, 'auto' (default) "
+        "batches whenever a group of uncached cells shares a batchable base",
     )
     common.add_argument(
         "--cache-dir", default=None,

@@ -1,0 +1,193 @@
+"""Config-batched execution engine: shared-base groups over one bundle.
+
+The batched backend exploits the lane-invariance of the TAGE core and
+loop predictor (see :mod:`repro.tage.batched_state`): matrix cells over
+one workload bundle whose predictors share a base
+:class:`~repro.tage.config.TageConfig` -- a Fig-16 capacity sweep's
+LLBP-X lanes, or a ``tsl_64k``/``llbp``/``llbpx`` column -- are executed
+as one *group*.  The group pays the shared TAGE+loop base exactly once
+(recording its per-branch outputs), then runs each lane as a replay tail
+over only that lane's divergent state (SC, pattern store/buffer, CTT).
+
+Why record/replay rather than the numpy-stacked lane state the ROADMAP
+sketched: at realistic lane counts (2-8) the per-branch cost of even one
+vectorised gather/scatter (~0.5-1us in numpy) exceeds the whole fused
+Python step, so stacking loses throughput while record/replay removes
+the genuinely redundant work -- the shared base is ~55% of a fused TSL
+step and every lane of a group repeats it.  The numpy array holding the
+recorded stream *is* the stacked state's degenerate (shared) axis; the
+divergent structures stay as the reference implementations so
+bit-identity is by construction, pinned by
+``tests/test_batched_equivalence.py``.
+
+Structurally divergent configurations -- infinite-capacity cells
+(``tsl_inf``) and the profile-then-replay ``llbpx_optw`` -- cannot share
+a base and fall back lane-by-lane to the reference backend
+(``backend.fallbacks`` counts them).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.llbp.batched_state import build_llbp_tail
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.sampling import active_sampler
+from repro.obs.spans import span
+from repro.core.simulator import SimulationResult, simulate
+from repro.tage.batched_state import SharedBase, batchable_config
+from repro.tage.config import TageConfig, preset_by_name, tsl_64k
+
+if TYPE_CHECKING:
+    from repro.core.runner import Cell, Runner
+
+#: LLBP-family configurations that run on the shared ``tsl_64k`` base
+BATCHABLE_LLBP = ("llbp", "llbp_0lat", "llbpx", "llbpx_0lat")
+
+
+def base_config(name: str, scale: int) -> Optional[TageConfig]:
+    """The shared-base TAGE configuration of a cell, or ``None``.
+
+    ``None`` marks a structurally non-batchable cell: infinite-capacity
+    presets, the multi-pass ``llbpx_optw``, and unknown names -- all of
+    which the caller must route to the reference backend.
+    """
+    if name.startswith("tsl_"):
+        try:
+            config = preset_by_name(name, scale=scale)
+        except KeyError:
+            return None
+        return config if batchable_config(config) else None
+    if name in BATCHABLE_LLBP:
+        return tsl_64k(scale=scale)
+    return None
+
+
+@dataclass
+class BatchPlan:
+    """Partition of one workload's cells into batched groups and the rest.
+
+    ``groups`` hold cells sharing a base config (each a batched task);
+    ``singles`` run on the reference backend; ``fallbacks`` counts the
+    structurally non-batchable cells among the singles (the
+    ``backend.fallbacks`` metric).
+    """
+
+    groups: List[List["Cell"]]
+    singles: List["Cell"]
+    fallbacks: int
+
+    @property
+    def lanes(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+
+def plan_batches(cells: Sequence["Cell"], scale: int, min_lanes: int = 2) -> BatchPlan:
+    """Group one workload's cells by shared base configuration.
+
+    ``min_lanes`` is the smallest group worth batching: ``auto`` uses 2
+    (a singleton gains nothing over reference), forcing ``batched`` uses
+    1 so even lone cells exercise the batched engine.  Order inside a
+    group and among singles follows first appearance.
+    """
+    by_base: Dict[TageConfig, List["Cell"]] = {}
+    singles: List["Cell"] = []
+    fallbacks = 0
+    for cell in cells:
+        config = base_config(cell[1], scale)
+        if config is None:
+            singles.append(cell)
+            fallbacks += 1
+        else:
+            by_base.setdefault(config, []).append(cell)
+    groups: List[List["Cell"]] = []
+    for grouped in by_base.values():
+        if len(grouped) >= min_lanes:
+            groups.append(grouped)
+        else:
+            singles.extend(grouped)
+    return BatchPlan(groups=groups, singles=singles, fallbacks=fallbacks)
+
+
+@dataclass
+class LaneOutcome:
+    """One lane's result within a batched group.
+
+    ``seconds`` is the lane's attributable wall time: its own tail
+    simulation plus an equal share of the group's shared-base pass --
+    the number the :class:`~repro.core.results_io.TimingStore` observes
+    under the ``batched`` backend key.
+    """
+
+    cell: "Cell"
+    result: SimulationResult
+    seconds: float
+    backend: str = "batched"
+    #: the lane's predictor instance (full final table state, for
+    #: equivalence tests); dropped before results cross process borders
+    predictor: Optional[object] = None
+
+
+def run_group(runner: "Runner", workload: str, cells: Sequence["Cell"]) -> List[LaneOutcome]:
+    """Execute one batched group: shared base once, then each lane's tail.
+
+    Every cell must share ``base_config`` (callers use
+    :func:`plan_batches`).  Per-lane results -- counts, stats, extra,
+    and final predictor table state -- are bit-identical to the
+    reference backend.  Span names ``cell``/``simulate`` match the
+    reference path (with a ``backend`` attribute) so observability
+    tooling sees one tree shape regardless of backend.
+    """
+    cells = list(cells)
+    config = base_config(cells[0][1], runner.config.scale)
+    if config is None:
+        raise ValueError(f"cell {cells[0][1]!r} has no batchable base config")
+    registry = obs_registry()
+    outcomes: List[LaneOutcome] = []
+    with span("backend.batched", workload=workload, lanes=len(cells), base=config.name):
+        group_start = time.perf_counter()
+        bundle = runner.bundle(workload)
+        shared = SharedBase(config, bundle.tensors)
+        with span("backend.batched.base", workload=workload, base=config.name):
+            shared.record(bundle.trace, bundle.tensors)
+        base_seconds = time.perf_counter() - group_start
+        base_share = base_seconds / len(cells)
+        registry.counter("backend.batched.groups").inc()
+        registry.counter("backend.batched.lanes").inc(len(cells))
+        registry.histogram("backend.batched.group_lanes").observe(len(cells))
+        sampler = active_sampler()
+        for cell in cells:
+            _, name, overrides = cell
+            with span("cell", workload=workload, config=name, backend="batched"):
+                lane_start = time.perf_counter()
+                predictor = runner.build_predictor(name, bundle, shared_base=shared, **overrides)
+                if name.startswith("tsl_"):
+                    tail = shared.build_tsl_tail(predictor)
+                else:
+                    tail = build_llbp_tail(predictor, shared)
+                if sampler is not None:
+                    tail = sampler.instrument(name, tail, predictor.telemetry_sample)
+                # the tail *replaces* the default kernel: the lane's own
+                # step closure would advance the shared core a second time
+                predictor.step = tail
+                with span("simulate", workload=workload, config=name, backend="batched"):
+                    result = simulate(
+                        predictor,
+                        bundle.trace,
+                        bundle.tensors,
+                        warmup_fraction=runner.config.warmup_fraction,
+                        use_step=True,
+                    )
+                result.predictor = name
+                elapsed = (time.perf_counter() - lane_start) + base_share
+                runner.sim_count += 1
+                runner.sim_seconds += elapsed
+                registry.counter("runner.simulations").inc()
+                registry.counter("runner.branches").inc(runner.config.num_branches)
+                registry.histogram("cell.seconds").observe(elapsed)
+                outcomes.append(
+                    LaneOutcome(cell=cell, result=result, seconds=elapsed, predictor=predictor)
+                )
+    return outcomes

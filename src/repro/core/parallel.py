@@ -65,7 +65,7 @@ from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tup
 
 from repro.core.faults import active_injector
 from repro.core.results_io import TimingStore
-from repro.core.simulator import SimulationResult
+from repro.core.simulator import BACKEND_BATCHED, BACKEND_REFERENCE, SimulationResult
 from repro.obs.log import get_logger
 from repro.obs.metrics import registry as obs_registry
 from repro.obs.telemetry import emit_event
@@ -183,16 +183,31 @@ class CostModel:
     def __init__(self, timings: Optional[TimingStore] = None) -> None:
         self.timings = timings
 
-    def estimate(self, workload: str, name: str, num_branches: int) -> float:
+    def estimate(
+        self, workload: str, name: str, num_branches: int, backend: str = BACKEND_REFERENCE
+    ) -> float:
+        """Expected seconds of one cell under ``backend``.
+
+        Observed timings are backend-keyed (a batched lane's attributable
+        cost differs systematically from a reference execution); a
+        batched cell with no batched history borrows the reference
+        observation -- an overestimate, which only makes the scheduler
+        start the group earlier -- before falling back to the static
+        estimate.
+        """
         if self.timings is not None:
-            observed = self.timings.get(workload, name)
+            observed = self.timings.get(workload, name, backend)
+            if observed is None and backend != BACKEND_REFERENCE:
+                observed = self.timings.get(workload, name)
             if observed is not None:
                 return observed
         return num_branches * config_weight(name) * _SECONDS_PER_BRANCH
 
-    def observe(self, workload: str, name: str, seconds: float) -> None:
+    def observe(
+        self, workload: str, name: str, seconds: float, backend: str = BACKEND_REFERENCE
+    ) -> None:
         if self.timings is not None:
-            self.timings.observe(workload, name, seconds)
+            self.timings.observe(workload, name, seconds, backend)
 
     def save(self) -> None:
         if self.timings is not None:
@@ -223,6 +238,17 @@ def _worker_runner(config: "RunnerConfig", artifact_dir: Optional[str]):
         _WORKER_STATE["key"] = key
         _WORKER_STATE["runner"] = Runner(config, artifacts=artifacts)
     return _WORKER_STATE["runner"]
+
+
+def _trim_worker_bundles(runner, workload: str, config: "RunnerConfig") -> None:
+    """LRU-bound the bundles a worker keeps: re-admit ``workload`` as most
+    recent, then drop the oldest beyond the cap."""
+    bundle_key = (workload, config.num_branches, config.seed)
+    bundle = runner._bundles.pop(bundle_key, None)
+    if bundle is not None:
+        runner._bundles[bundle_key] = bundle
+    while len(runner._bundles) > MAX_WORKER_BUNDLES:
+        runner._bundles.pop(next(iter(runner._bundles)))
 
 
 def simulate_cell(
@@ -259,18 +285,111 @@ def simulate_cell(
     seconds = time.perf_counter() - start
     if telemetry is not None and in_worker:
         obs_flush()
-    # LRU-bound the bundles this worker keeps: re-admit the current
-    # workload as most recent, then drop the oldest beyond the cap.
-    bundle_key = (workload, config.num_branches, config.seed)
-    bundle = runner._bundles.pop(bundle_key, None)
-    if bundle is not None:
-        runner._bundles[bundle_key] = bundle
-    while len(runner._bundles) > MAX_WORKER_BUNDLES:
-        runner._bundles.pop(next(iter(runner._bundles)))
+    _trim_worker_bundles(runner, workload, config)
     return result, seconds
 
 
+@dataclass(frozen=True)
+class _Task:
+    """One schedulable unit: a batched group or a single reference cell.
+
+    ``backend`` decides the worker entry: ``batched`` tasks run their
+    cells (all one workload, sharing a base TageConfig) through
+    :func:`repro.core.batched.run_group`; ``reference`` tasks are always
+    singletons and run through :func:`simulate_cell`.
+    """
+
+    cells: Tuple[Cell, ...]
+    backend: str = BACKEND_REFERENCE
+
+    @property
+    def workload(self) -> str:
+        return self.cells[0][0]
+
+    def label(self) -> str:
+        if len(self.cells) == 1:
+            return f"{self.cells[0][0]}/{self.cells[0][1]}"
+        return f"{self.workload}/[{'+'.join(name for _, name, _ in self.cells)}]"
+
+
+def simulate_task(
+    config: "RunnerConfig",
+    cells: Sequence[Cell],
+    backend: str = BACKEND_REFERENCE,
+    artifact_dir: Optional[str] = None,
+    in_worker: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
+) -> List[Tuple[Cell, SimulationResult, float]]:
+    """Worker entry point: execute one task; returns per-cell triples.
+
+    ``(cell, result, seconds)`` per member, where a batched lane's
+    seconds are its tail plus an equal share of the group's shared base
+    (the cost the scheduler should learn under the ``batched`` key).
+    The fault injector consults *every* member, so a fault spec
+    targeting any lane of a group fires exactly as it would have on
+    that cell's standalone execution.
+    """
+    injector = active_injector()
+    if injector is not None:
+        for workload, name, _ in cells:
+            injector.fire(workload, name, in_worker=in_worker)
+    if telemetry is not None and in_worker:
+        obs_ensure(telemetry[0], sample_interval=telemetry[1])
+    runner = _worker_runner(config, artifact_dir)
+    workload = cells[0][0]
+    out: List[Tuple[Cell, SimulationResult, float]] = []
+    if backend == BACKEND_BATCHED and len(cells) >= 1:
+        from repro.core.batched import run_group
+
+        for outcome in run_group(runner, workload, [(w, n, dict(o)) for w, n, o in cells]):
+            out.append((outcome.cell, outcome.result, outcome.seconds))
+    else:
+        for w, name, overrides in cells:
+            start = time.perf_counter()
+            result = runner.run_one(w, name, use_cache=False, **dict(overrides))
+            out.append(((w, name, dict(overrides)), result, time.perf_counter() - start))
+    if telemetry is not None and in_worker:
+        obs_flush()
+    _trim_worker_bundles(runner, workload, config)
+    return out
+
+
 # -- parent side ---------------------------------------------------------------
+
+
+def plan_tasks(cells: Sequence[Cell], config: "RunnerConfig", backend: str) -> List[_Task]:
+    """Partition cells into schedulable tasks for ``backend``.
+
+    ``reference`` keeps the cell-granular schedule (one task per cell).
+    ``auto``/``batched`` group each workload's cells sharing a batchable
+    base TageConfig into one batched task (``auto`` only when at least
+    two cells share; forcing ``batched`` batches even singletons);
+    everything else stays a reference singleton, with structurally
+    non-batchable cells counted on ``backend.fallbacks``.
+    """
+    if backend == BACKEND_REFERENCE:
+        return [_Task(cells=(cell,)) for cell in cells]
+    from repro.core.batched import plan_batches
+
+    by_workload: Dict[str, List[Cell]] = {}
+    for cell in cells:
+        by_workload.setdefault(cell[0], []).append(cell)
+    tasks: List[_Task] = []
+    fallbacks = 0
+    for workload_cells in by_workload.values():
+        plan = plan_batches(
+            workload_cells,
+            config.scale,
+            min_lanes=1 if backend == BACKEND_BATCHED else 2,
+        )
+        fallbacks += plan.fallbacks
+        for group in plan.groups:
+            tasks.append(_Task(cells=tuple(group), backend=BACKEND_BATCHED))
+        for cell in plan.singles:
+            tasks.append(_Task(cells=(cell,)))
+    if fallbacks:
+        obs_registry().counter("backend.fallbacks").inc(fallbacks)
+    return tasks
 
 
 def run_cells_parallel(
@@ -282,13 +401,20 @@ def run_cells_parallel(
     policy: Optional[RetryPolicy] = None,
     report=None,
     telemetry: Optional[TelemetryConfig] = None,
+    backend: str = BACKEND_REFERENCE,
 ) -> Iterator[Tuple[Cell, SimulationResult]]:
     """Fan cells out over ``jobs`` processes, longest-expected-first.
 
     Yields ``(cell, result)`` pairs as cells complete (arbitrary order --
     the caller re-associates), so progress reporting works while later
     cells are still running.  Observed timings feed back into the cost
-    model (persisted on completion).
+    model (persisted on completion), keyed by execution backend.
+
+    ``backend`` selects the execution engine per :func:`plan_tasks`:
+    under ``auto``/``batched``, cells of one workload sharing a batchable
+    base TageConfig travel as one *batched task* -- one worker runs their
+    shared base once and every lane tail (:mod:`repro.core.batched`) --
+    and retry/timeout handling treats the task as a unit.
 
     Execution is fault-tolerant per ``policy`` (see :class:`RetryPolicy`):
 
@@ -318,14 +444,17 @@ def run_cells_parallel(
         return
     policy = policy or RetryPolicy()
     model = cost_model or CostModel()
-    ordered: List[Cell] = sorted(
-        cells,
-        key=lambda cell: model.estimate(cell[0], cell[1], config.num_branches),
-        reverse=True,
-    )
+
+    def task_estimate(task: _Task) -> float:
+        return sum(
+            model.estimate(workload, name, config.num_branches, task.backend)
+            for workload, name, _ in task.cells
+        )
+
+    ordered: List[_Task] = sorted(plan_tasks(cells, config, backend), key=task_estimate, reverse=True)
     max_workers = max(1, min(jobs, len(ordered)))
     attempts = [0] * len(ordered)
-    #: (cell index, earliest re-dispatch time) -- backoff lives here
+    #: (task index, earliest re-dispatch time) -- backoff lives here
     pending: Deque[Tuple[int, float]] = deque((i, 0.0) for i in range(len(ordered)))
     inflight: Dict[Future, Tuple[int, Optional[float]]] = {}
     pool: Optional[ProcessPoolExecutor] = None
@@ -333,25 +462,28 @@ def run_cells_parallel(
     fallback = False
 
     def charge(index: int, kind: str, detail: str) -> None:
-        """Record a failure of the cell's own making; re-queue or give up."""
-        workload, name, overrides = ordered[index]
+        """Record a failure of the task's own making; re-queue or give up.
+
+        A batched task fails and retries as a unit (its lanes share one
+        base pass), so the failure is recorded against every member cell.
+        """
+        task = ordered[index]
         if report is not None:
-            report.record_failure(workload, name, overrides, kind, detail)
+            for workload, name, overrides in task.cells:
+                report.record_failure(workload, name, overrides, kind, detail)
         obs_registry().counter("parallel.retries").inc()
         if attempts[index] > policy.retries:
             logger.error(
-                "cell %s/%s failed (%s) after %d attempts: %s -- giving up",
-                workload,
-                name,
+                "task %s failed (%s) after %d attempts: %s -- giving up",
+                task.label(),
                 kind,
                 attempts[index],
                 detail,
             )
-            raise CellExecutionError(ordered[index], kind, detail, attempts[index])
+            raise CellExecutionError(task.cells[0], kind, detail, attempts[index])
         logger.warning(
-            "cell %s/%s failed (%s): %s -- retry %d/%d",
-            workload,
-            name,
+            "task %s failed (%s): %s -- retry %d/%d",
+            task.label(),
             kind,
             detail,
             attempts[index],
@@ -361,12 +493,23 @@ def run_cells_parallel(
         pending.append((index, time.monotonic() + max(0.0, delay)))
 
     def interrupt(index: int) -> None:
-        """Re-queue an innocent in-flight cell without charging it."""
+        """Re-queue an innocent in-flight task without charging it."""
         attempts[index] -= 1  # the killed execution does not count
-        workload, name, overrides = ordered[index]
         if report is not None:
-            report.record_interruption(workload, name, overrides)
+            for workload, name, overrides in ordered[index].cells:
+                report.record_interruption(workload, name, overrides)
         pending.append((index, 0.0))
+
+    def succeed(index: int, triples) -> Iterator[Tuple[Cell, SimulationResult]]:
+        """Book one completed task: timings, report records, results."""
+        task = ordered[index]
+        if task.backend == BACKEND_BATCHED and report is not None:
+            report.record_batched_group(len(task.cells))
+        for (workload, name, overrides), result, seconds in triples:
+            model.observe(workload, name, seconds, task.backend)
+            if report is not None:
+                report.record_success(workload, name, overrides, seconds, backend=task.backend)
+            yield (workload, name, overrides), result
 
     def handle_break(detail: str) -> None:
         """A worker died: charge in-flight cells, drop the pool."""
@@ -403,21 +546,21 @@ def run_cells_parallel(
             if fallback:
                 # graceful degradation: finish the matrix in-process.
                 # Injected crashes raise here instead of exiting (see
-                # simulate_cell), so the retry accounting still applies.
+                # simulate_task), so the retry accounting still applies.
                 index, not_before = pending.popleft()
                 delay = not_before - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
-                workload, name, overrides = ordered[index]
+                task = ordered[index]
                 attempts[index] += 1
                 if report is not None:
-                    report.record_attempt(workload, name, overrides)
+                    for workload, name, overrides in task.cells:
+                        report.record_attempt(workload, name, overrides)
                 try:
-                    result, seconds = simulate_cell(
+                    triples = simulate_task(
                         config,
-                        workload,
-                        name,
-                        dict(overrides),
+                        list(task.cells),
+                        task.backend,
                         artifact_dir,
                         in_worker=False,
                         telemetry=telemetry,
@@ -425,10 +568,8 @@ def run_cells_parallel(
                 except Exception as exc:
                     charge(index, "exception", repr(exc))
                     continue
-                model.observe(workload, name, seconds)
-                if report is not None:
-                    report.record_success(workload, name, overrides, seconds)
-                yield ordered[index], result
+                for pair in succeed(index, triples):
+                    yield pair
                 continue
 
             if pool is None:
@@ -453,14 +594,13 @@ def run_cells_parallel(
                     continue
                 index, _ = pending[ready]
                 del pending[ready]
-                workload, name, overrides = ordered[index]
+                task = ordered[index]
                 try:
                     future = pool.submit(
-                        simulate_cell,
+                        simulate_task,
                         config,
-                        workload,
-                        name,
-                        dict(overrides),
+                        list(task.cells),
+                        task.backend,
                         artifact_dir,
                         True,
                         telemetry,
@@ -471,7 +611,8 @@ def run_cells_parallel(
                     break
                 attempts[index] += 1
                 if report is not None:
-                    report.record_attempt(workload, name, overrides)
+                    for workload, name, overrides in task.cells:
+                        report.record_attempt(workload, name, overrides)
                 deadline = now + policy.timeout if policy.timeout is not None else None
                 inflight[future] = (index, deadline)
             if submit_broke is not None:
@@ -497,9 +638,8 @@ def run_cells_parallel(
             broke: Optional[str] = None
             for future in done:
                 index, _ = inflight.pop(future)
-                workload, name, overrides = ordered[index]
                 try:
-                    result, seconds = future.result()
+                    triples = future.result()
                 except BrokenProcessPool as exc:
                     # every in-flight future of a broken pool raises this;
                     # charge this one now, handle_break charges the rest
@@ -509,10 +649,8 @@ def run_cells_parallel(
                     charge(index, "exception", repr(exc))
                 else:
                     consecutive_breaks = 0
-                    model.observe(workload, name, seconds)
-                    if report is not None:
-                        report.record_success(workload, name, overrides, seconds)
-                    yield ordered[index], result
+                    for pair in succeed(index, triples):
+                        yield pair
             if broke is not None:
                 handle_break(broke)
                 continue
@@ -535,14 +673,14 @@ def run_cells_parallel(
                     obs_registry().counter("parallel.pool_rebuilds").inc()
                     for future in overdue:
                         index, _ = inflight.pop(future)
-                        workload, name, _ = ordered[index]
+                        task = ordered[index]
+                        workload, name, _ = task.cells[0]
                         emit_event(
                             "cell-timeout", workload=workload, config=name, seconds=policy.timeout
                         )
                         logger.warning(
-                            "cell %s/%s exceeded %.1fs; killing the pool to reclaim its worker",
-                            workload,
-                            name,
+                            "task %s exceeded %.1fs; killing the pool to reclaim its worker",
+                            task.label(),
                             policy.timeout,
                         )
                         charge(index, "timeout", f"exceeded {policy.timeout:.1f}s")

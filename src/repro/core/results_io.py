@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.faults import active_injector, stale_temp
-from repro.core.simulator import SimulationResult
+from repro.core.simulator import BACKEND_REFERENCE, SimulationResult
 from repro.obs.metrics import registry as obs_registry
 from repro.traces.generator import GENERATOR_VERSION
 
@@ -184,12 +184,20 @@ class TimingStore:
         return {"entries": len(self._data)}
 
     def _read_disk(self) -> Dict[str, float]:
-        """Current on-disk timings (empty on any error -- advisory data)."""
+        """Current on-disk timings (empty on any error -- advisory data).
+
+        Keys written before the backend dimension existed
+        (``workload/config``) are migrated in place to
+        ``workload/config@reference`` -- every pre-backend observation was
+        a reference-path execution, and leaving them unmigrated would
+        orphan the history the scheduler ordered by.
+        """
         try:
             payload = json.loads(self.path.read_text())
             if payload.get("version") != TIMINGS_FORMAT_VERSION:
                 return {}
-            return {str(k): float(v) for k, v in dict(payload.get("seconds", {})).items()}
+            data = {str(k): float(v) for k, v in dict(payload.get("seconds", {})).items()}
+            return {(k if "@" in k else f"{k}@{BACKEND_REFERENCE}"): v for k, v in data.items()}
         except (FileNotFoundError, json.JSONDecodeError, TypeError, ValueError, AttributeError):
             return {}
 
@@ -208,15 +216,24 @@ class TimingStore:
         return removed
 
     @staticmethod
-    def key(workload: str, name: str) -> str:
-        return f"{workload}/{name}"
+    def key(workload: str, name: str, backend: str = BACKEND_REFERENCE) -> str:
+        """Timing key: the backend is part of the identity.
 
-    def get(self, workload: str, name: str) -> Optional[float]:
-        return self._data.get(self.key(workload, name))
+        A batched lane's attributable seconds (tail + its share of the
+        shared base) differ systematically from a reference execution of
+        the same cell; one EMA over both would corrupt the
+        longest-expected-first schedule for whichever backend runs next.
+        """
+        return f"{workload}/{name}@{backend}"
 
-    def observe(self, workload: str, name: str, seconds: float) -> None:
+    def get(self, workload: str, name: str, backend: str = BACKEND_REFERENCE) -> Optional[float]:
+        return self._data.get(self.key(workload, name, backend))
+
+    def observe(
+        self, workload: str, name: str, seconds: float, backend: str = BACKEND_REFERENCE
+    ) -> None:
         """Blend one observation into the EMA (first observation wins whole)."""
-        key = self.key(workload, name)
+        key = self.key(workload, name, backend)
         previous = self._data.get(key)
         if previous is None:
             self._data[key] = float(seconds)

@@ -46,6 +46,7 @@ class CellReport:
     config: str
     overrides: str = ""
     source: str = ""  # "cached" | "simulated" | "" (never resolved)
+    backend: str = ""  # "reference" | "batched" | "" (cached / never resolved)
     attempts: int = 0
     retries: int = 0
     interruptions: int = 0
@@ -58,6 +59,7 @@ class CellReport:
             "config": self.config,
             "overrides": self.overrides,
             "source": self.source,
+            "backend": self.backend,
             "attempts": self.attempts,
             "retries": self.retries,
             "interruptions": self.interruptions,
@@ -74,6 +76,8 @@ class RunReport:
         self.pool_rebuilds = 0
         self.timeouts = 0
         self.serial_fallback = False
+        #: lane count of every batched group executed this run
+        self.batched_group_sizes: List[int] = []
         self.started_at = time.time()
 
     # -- recording ----------------------------------------------------------
@@ -144,11 +148,20 @@ class RunReport:
         config: str,
         overrides: Optional[Mapping[str, object]],
         seconds: float,
+        backend: str = "reference",
     ) -> None:
         entry = self.cell(workload, config, overrides)
         entry.source = "simulated"
+        entry.backend = backend
         entry.seconds += seconds
-        emit_event("cell-success", workload=workload, config=config, seconds=seconds)
+        emit_event(
+            "cell-success", workload=workload, config=config, seconds=seconds, backend=backend
+        )
+
+    def record_batched_group(self, lanes: int) -> None:
+        """A batched group of ``lanes`` cells executed over one shared base."""
+        self.batched_group_sizes.append(int(lanes))
+        emit_event("batched-group", lanes=lanes)
 
     # -- aggregates ---------------------------------------------------------
 
@@ -178,6 +191,8 @@ class RunReport:
             "interruptions": self.total_interruptions,
             "failures": self.total_failures,
             "seconds": sum(entry.seconds for entry in cells),
+            "batched_groups": len(self.batched_group_sizes),
+            "batched_lanes": sum(self.batched_group_sizes),
         }
 
     # -- serialisation ------------------------------------------------------
@@ -197,6 +212,7 @@ class RunReport:
             "pool_rebuilds": self.pool_rebuilds,
             "timeouts": self.timeouts,
             "serial_fallback": self.serial_fallback,
+            "batched_group_sizes": list(self.batched_group_sizes),
             "quarantined": 0,
         }
         if runner is not None:
@@ -214,11 +230,14 @@ class RunReport:
     def summary(self, runner=None) -> str:
         """One-line end-of-run summary (grep-friendly ``key=value`` pairs)."""
         totals = self.totals()
+        sizes = self.batched_group_sizes
         line = (
             f"run report: cells={totals['cells']} cached={totals['cached']} "
             f"simulated={totals['simulated']} retries={totals['retries']} "
             f"timeouts={self.timeouts} pool_rebuilds={self.pool_rebuilds} "
-            f"serial_fallback={'yes' if self.serial_fallback else 'no'}"
+            f"serial_fallback={'yes' if self.serial_fallback else 'no'} "
+            f"batched_groups={len(sizes)} batched_lanes={sum(sizes)} "
+            f"max_group_lanes={max(sizes) if sizes else 0}"
         )
         if runner is not None:
             quarantined = 0

@@ -38,7 +38,13 @@ from repro.core.results_io import (
     cache_key,
     result_key,
 )
-from repro.core.simulator import SimulationResult, simulate
+from repro.core.simulator import (
+    BACKEND_BATCHED,
+    BACKEND_REFERENCE,
+    SimulationResult,
+    resolve_backend,
+    simulate,
+)
 from repro.llbp import LLBP, LLBPX, ContextStreams, llbp_default, llbpx_default
 from repro.tage import TageConfig, TageSCL, TraceTensors, preset_by_name, tsl_64k
 from repro.traces import Trace, generate_workload
@@ -111,11 +117,18 @@ class Runner:
         cache: Optional[ResultCache] = None,
         artifacts: Optional[ArtifactStore] = None,
         retry_policy: Optional["RetryPolicy"] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.cache = cache
         self.artifacts = artifacts
         self.retry_policy = retry_policy
+        #: execution backend for run_cells/run_matrix: "auto" groups
+        #: uncached cells sharing a bundle + base TageConfig through the
+        #: batched engine; "reference"/"batched" force one path.  The
+        #: backend changes only *how* cells execute, never the results,
+        #: so it is deliberately not part of RunnerConfig (cache keys).
+        self.backend = resolve_backend(backend)
         self.report = RunReport()
         self.sim_count = 0
         self.bundle_builds = 0
@@ -236,30 +249,60 @@ class Runner:
     def _tsl_config(self, preset: str) -> TageConfig:
         return preset_by_name(preset, scale=self.config.scale)
 
-    def build_predictor(self, name: str, bundle: WorkloadBundle, **overrides):
+    def build_predictor(self, name: str, bundle: WorkloadBundle, shared_base=None, **overrides):
         """Instantiate a predictor configuration by report name.
 
         Recognised names: any TSL preset (``tsl_8k`` .. ``tsl_512k``,
         ``tsl_inf``), ``llbp``, ``llbp_0lat``, ``llbpx``, ``llbpx_0lat``,
         and ``llbpx_optw`` (handled by :meth:`run_one`).  ``overrides``
         are applied to the LLBP/LLBP-X config dataclass.
+
+        ``shared_base`` optionally injects a batched-backend
+        :class:`~repro.tage.batched_state.SharedBase` whose TAGE core and
+        loop predictor the lane reuses instead of building its own; the
+        caller (:func:`repro.core.batched.run_group`) must then install
+        the lane's replay-tail kernel as ``predictor.step``.
         """
         scale = self.config.scale
         if name.startswith("tsl_"):
+            if shared_base is not None:
+                return TageSCL(
+                    self._tsl_config(name),
+                    bundle.tensors,
+                    core=shared_base.core,
+                    loop=shared_base.loop,
+                )
             return TageSCL(self._tsl_config(name), bundle.tensors)
         base_tsl = tsl_64k(scale=scale)
+        shared_tsl = None
+        if shared_base is not None:
+            shared_tsl = TageSCL(
+                shared_base.config, bundle.tensors, core=shared_base.core, loop=shared_base.loop
+            )
         if name == "llbp":
             cfg = llbp_default(scale=scale, **overrides)
-            return LLBP(cfg, base_tsl, bundle.tensors, bundle.contexts)
+            return LLBP(cfg, base_tsl, bundle.tensors, bundle.contexts, tsl=shared_tsl)
         if name == "llbp_0lat":
             cfg = llbp_default(scale=scale, zero_latency=True, **overrides)
-            return LLBP(replace(cfg, name="llbp_0lat"), base_tsl, bundle.tensors, bundle.contexts)
+            return LLBP(
+                replace(cfg, name="llbp_0lat"),
+                base_tsl,
+                bundle.tensors,
+                bundle.contexts,
+                tsl=shared_tsl,
+            )
         if name == "llbpx":
             cfg = llbpx_default(scale=scale, **overrides)
-            return LLBPX(cfg, base_tsl, bundle.tensors, bundle.contexts)
+            return LLBPX(cfg, base_tsl, bundle.tensors, bundle.contexts, tsl=shared_tsl)
         if name == "llbpx_0lat":
             cfg = llbpx_default(scale=scale, zero_latency=True, **overrides)
-            return LLBPX(replace(cfg, name="llbpx_0lat"), base_tsl, bundle.tensors, bundle.contexts)
+            return LLBPX(
+                replace(cfg, name="llbpx_0lat"),
+                base_tsl,
+                bundle.tensors,
+                bundle.contexts,
+                tsl=shared_tsl,
+            )
         raise KeyError(f"unknown predictor configuration {name!r}")
 
     # -- running ----------------------------------------------------------------------
@@ -338,8 +381,13 @@ class Runner:
         jobs: int = 1,
         release_bundles: bool = True,
         progress: Optional[Callable[[str, str, SimulationResult], None]] = None,
+        backend: Optional[str] = None,
     ) -> List[SimulationResult]:
         """Run arbitrary ``(workload, name, overrides)`` cells, cached.
+
+        ``backend`` overrides the runner's execution backend for this
+        call (``None`` inherits ``self.backend``); results are
+        bit-identical across backends (tests/test_batched_equivalence.py).
 
         Cached cells (memory or disk) are resolved up front and duplicate
         uncached cells are simulated once; only unique misses run --
@@ -356,6 +404,7 @@ class Runner:
         recorded in ``self.report`` (a
         :class:`~repro.core.run_report.RunReport`).
         """
+        resolved = resolve_backend(backend) if backend is not None else self.backend
         cells = [(workload, name, dict(overrides or {})) for workload, name, overrides in cells]
         out: Dict[int, SimulationResult] = {}
         # unique uncached cells, in first-appearance order (dicts preserve
@@ -397,23 +446,52 @@ class Runner:
                     policy=self.retry_policy,
                     report=self.report,
                     telemetry=obs_worker_config(),
+                    backend=resolved,
                 ):
                     self.sim_count += 1
                     finish(result_key(workload, name, overrides), result)
             else:
                 # serial: workload-major order so release_bundles bounds
-                # memory.  run_one records the report attempt/success.
+                # memory.  Under the batched/auto backends, each
+                # workload's cells are first partitioned into shared-base
+                # groups (repro.core.batched); the rest -- and everything
+                # under the reference backend -- goes through run_one,
+                # which records the report attempt/success itself.
                 by_workload: Dict[str, List[ResultKey]] = {}
                 for key in pending:
                     by_workload.setdefault(key[0], []).append(key)
                 for workload, keys in by_workload.items():
-                    for key in keys:
-                        _, name, overrides = cell_of[key]
+                    singles = [cell_of[key] for key in keys]
+                    if resolved != BACKEND_REFERENCE:
+                        from repro.core.batched import plan_batches, run_group
+
+                        plan = plan_batches(
+                            singles,
+                            self.config.scale,
+                            min_lanes=1 if resolved == BACKEND_BATCHED else 2,
+                        )
+                        singles = plan.singles
+                        if plan.fallbacks:
+                            obs_registry().counter("backend.fallbacks").inc(plan.fallbacks)
+                        for group in plan.groups:
+                            for cell_w, name, overrides in group:
+                                self.report.record_attempt(cell_w, name, overrides)
+                            self.report.record_batched_group(len(group))
+                            for outcome in run_group(self, workload, group):
+                                cell_w, name, overrides = outcome.cell
+                                self.report.record_success(
+                                    cell_w, name, overrides, outcome.seconds, backend="batched"
+                                )
+                                self.timing_store().observe(
+                                    workload, name, outcome.seconds, backend="batched"
+                                )
+                                finish(result_key(cell_w, name, overrides), outcome.result)
+                    for cell_w, name, overrides in singles:
                         started = time.perf_counter()
                         result = self.run_one(workload, name, use_cache=False, **overrides)
                         elapsed = time.perf_counter() - started
                         self.timing_store().observe(workload, name, elapsed)
-                        finish(key, result)
+                        finish(result_key(cell_w, name, overrides), result)
                     if release_bundles:
                         self.release(workload)
                 self.timing_store().save()
@@ -427,6 +505,7 @@ class Runner:
         release_bundles: bool = True,
         progress: Optional[Callable[[str, str, SimulationResult], None]] = None,
         jobs: int = 1,
+        backend: Optional[str] = None,
     ) -> Dict[str, Dict[str, SimulationResult]]:
         """Run every configuration on every workload (workload-major).
 
@@ -438,7 +517,7 @@ class Runner:
         """
         cells: List[Cell] = [(workload, name, {}) for workload in workloads for name in names]
         results = self.run_cells(
-            cells, jobs=jobs, release_bundles=release_bundles, progress=progress
+            cells, jobs=jobs, release_bundles=release_bundles, progress=progress, backend=backend
         )
         table: Dict[str, Dict[str, SimulationResult]] = {workload: {} for workload in workloads}
         for (workload, name, _), result in zip(cells, results):

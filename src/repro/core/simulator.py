@@ -26,6 +26,30 @@ from repro.common.stats import mpki
 from repro.tage.streams import TraceTensors
 from repro.traces.record import Trace
 
+# -- execution backends ------------------------------------------------------
+#
+# ``reference`` drives each cell's own fused step kernel -- the path every
+# result in the repo was originally produced with.  ``batched`` executes
+# groups of cells sharing a trace bundle and a base TageConfig through the
+# shared-base engine in ``repro.core.batched`` (bit-identical; pinned by
+# tests/test_batched_equivalence.py).  ``auto`` picks batched per group
+# whenever at least two uncached cells share a batchable base, and falls
+# back to reference for the rest.
+
+BACKEND_REFERENCE = "reference"
+BACKEND_BATCHED = "batched"
+BACKEND_AUTO = "auto"
+BACKENDS = (BACKEND_AUTO, BACKEND_REFERENCE, BACKEND_BATCHED)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend selector, defaulting ``None`` to ``auto``."""
+    if backend is None:
+        return BACKEND_AUTO
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}")
+    return backend
+
 
 class Predictor(Protocol):
     """Structural interface the simulation loop drives."""

@@ -71,10 +71,14 @@ class LLBP:
         tage_config: TageConfig,
         tensors: TraceTensors,
         context_streams: Optional[ContextStreams] = None,
+        tsl: Optional[TageSCL] = None,
     ) -> None:
         self.config = config
         self.name = config.name
-        self.tsl = TageSCL(tage_config, tensors)
+        # ``tsl`` optionally injects a pre-built baseline (the batched
+        # backend passes one sharing its TAGE core across lanes); callers
+        # doing so must also replace ``self.step``.
+        self.tsl = tsl if tsl is not None else TageSCL(tage_config, tensors)
         self.tensors = tensors
         self.stats = StatGroup(f"llbp[{config.name}]")
         self.contexts = context_streams if context_streams is not None else ContextStreams(tensors)

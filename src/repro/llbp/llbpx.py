@@ -51,8 +51,9 @@ class LLBPX(LLBP):
         tage_config: TageConfig,
         tensors: TraceTensors,
         context_streams: Optional[ContextStreams] = None,
+        tsl: Optional["TageSCL"] = None,
     ) -> None:
-        super().__init__(config, tage_config, tensors, context_streams)
+        super().__init__(config, tage_config, tensors, context_streams, tsl=tsl)
         self._shallow_window = self.contexts.window_hashes(config.shallow_depth)
         self._deep_window = self.contexts.window_hashes(config.deep_depth)
         self.ctt = ContextTrackingTable(

@@ -176,6 +176,19 @@ def render_report(directory: Union[str, Path], top: int = 12) -> str:
                 % (name, hist.count, hist.mean, hist.percentile(50), hist.percentile(90), hist.percentile(99))
             )
 
+    batched_groups = [e for e in events if e.get("type") == "batched-group"]
+    fallbacks = counters.get("backend.fallbacks", 0)
+    if batched_groups or fallbacks:
+        sizes = sorted((int(e.get("lanes", 0)) for e in batched_groups), reverse=True)
+        lines.append("")
+        lines.append("execution backends:")
+        lines.append(
+            "  batched groups: %d  lanes: %d  max group: %d  fallbacks to reference: %d"
+            % (len(sizes), sum(sizes), sizes[0] if sizes else 0, int(fallbacks))
+        )
+        if sizes:
+            lines.append("  group sizes: %s" % ", ".join(str(s) for s in sizes))
+
     timeline = _timeline(events)
     lines.append("")
     lines.append("fault/retry timeline:")

@@ -1,0 +1,186 @@
+"""Shared-base state for the config-batched simulation backend.
+
+The key structural fact the batched backend exploits (pinned by
+``tests/test_batched_equivalence.py``): for every shipped predictor, the
+TAGE core and the loop predictor evolve as a pure function of
+``(t, pc, taken)`` and their own :class:`~repro.tage.config.TageConfig`.
+The LLBP wrappers call ``tage.fused_step(t, pc, taken)`` unconditionally
+and train the loop predictor with ``loop.update(pc, taken, tage_pred !=
+taken)`` -- none of those inputs depend on the pattern store, the SC, or
+any other per-lane state.  So when several matrix cells over one trace
+bundle share a TAGE configuration (a capacity sweep's LLBP lanes, or a
+``tsl_64k``/``llbp``/``llbpx`` column), *one* TAGE core + loop predictor
+can serve them all, bit-identically.
+
+:class:`SharedBase` runs that shared base exactly once over the trace,
+recording each conditional branch's base outputs -- TAGE direction and
+confidence, bimodal direction, provider table, the post-loop TSL
+direction, and loop validity -- packed into one small int per record.
+Per-lane *tail* kernels (built here for plain TSL, and in
+:mod:`repro.llbp.batched_state` for the LLBP family) then replay the
+recorded stream instead of re-simulating the base, running only the
+lane-divergent state machines (statistical corrector, pattern buffer /
+store, CTT).
+
+The recording is held as a numpy array between runs (compact, sharable)
+and exposed to the tail kernels as a plain Python list (fastest
+per-branch indexing, and plain ints never leak numpy scalar types into
+predictor hashing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.tage.config import TageConfig
+from repro.tage.loop_predictor import _CONF_MAX, LoopPredictor
+from repro.tage.streams import TraceTensors
+from repro.tage.tage import TageCore
+from repro.tage.tsl import TageSCL
+
+# -- packed base-record layout (one int per trace record) ----------------------
+#
+#   bit 0      TAGE direction
+#   bit 1      TSL direction (after the loop-predictor override)
+#   bit 2      bimodal direction
+#   bit 3      loop predictor valid (confident hit)
+#   bits 4-9   provider table + 1 (0 = bimodal provider)
+#   bits 10+   TAGE provider confidence
+
+BASE_TAGE_PRED = 1
+BASE_TSL_PRED = 2
+BASE_BIM_PRED = 4
+BASE_LOOP_VALID = 8
+BASE_PROVIDER_SHIFT = 4
+BASE_PROVIDER_MASK = 0x3F
+BASE_CONF_SHIFT = 10
+
+
+def batchable_config(config: TageConfig) -> bool:
+    """Whether a TAGE configuration can anchor a shared base.
+
+    Infinite-capacity cells are structurally divergent (unbounded
+    PC-tagged dict state; the limit-study semantics the reference path
+    owns) and fall back lane-by-lane to the reference backend.
+    """
+    return not config.infinite
+
+
+class SharedBase:
+    """One shared TAGE core + loop predictor, recorded over a trace.
+
+    Construction builds the components; :meth:`record` advances them over
+    every conditional record exactly once (bit-identical to the base
+    portion of each reference lane) while packing the per-branch outputs
+    the lane tails need.  Lanes built afterwards via
+    :class:`~repro.tage.tsl.TageSCL`'s ``core=``/``loop=`` injection end
+    the run with precisely the reference lane's table state, because the
+    base inputs are lane-invariant.
+    """
+
+    def __init__(self, config: TageConfig, tensors: TraceTensors) -> None:
+        if not batchable_config(config):
+            raise ValueError(f"config {config.name!r} is not batchable (infinite mode)")
+        self.config = config
+        self.core = TageCore(config, tensors)
+        self.loop = LoopPredictor(config.loop_entries) if config.use_loop else None
+        self._packed: Optional[np.ndarray] = None
+        self._packed_list: Optional[List[int]] = None
+
+    def record(self, trace, tensors: TraceTensors) -> None:
+        """Advance the shared base over the whole trace, recording outputs.
+
+        Mirrors the base portion of the fused reference kernels exactly:
+        ``tage.fused_step`` (lookup + train), the inlined loop-predictor
+        read, then ``loop.update`` -- all with lane-invariant inputs.
+        The loop predictor trains immediately after its read here, while
+        the reference kernels train it after the SC; the two orders are
+        state-identical because the loop and SC share no state.
+        """
+        pcs, takens = trace.aslists("pcs", "taken")
+        packed = [0] * len(pcs)
+        fused = self.core.fused_step
+        loop = self.loop
+        if loop is not None:
+            loop_entries = loop._entries
+            loop_mask = loop._mask
+            loop_update = loop.update
+        for start, end, is_cond in tensors.kind_runs():
+            if not is_cond:
+                continue  # unconditional branches leave the base untouched
+            for t in range(start, end):
+                pc = pcs[t]
+                taken = takens[t]
+                tage_pred, conf, bim_pred, provider, _length = fused(t, pc, taken)
+                word = BASE_TAGE_PRED if tage_pred else 0
+                tsl_pred = tage_pred
+                if loop is not None:
+                    key = pc >> 2
+                    entry = loop_entries[key & loop_mask]
+                    if entry.tag == (key & 0x3FFF) and entry.confidence >= _CONF_MAX:
+                        word |= BASE_LOOP_VALID
+                        direction = entry.direction
+                        tsl_pred = (
+                            (not direction) if entry.current_iter >= entry.past_iter else direction
+                        )
+                    loop_update(pc, taken, tage_pred != taken)
+                if tsl_pred:
+                    word |= BASE_TSL_PRED
+                if bim_pred:
+                    word |= BASE_BIM_PRED
+                packed[t] = (
+                    word
+                    | ((provider + 1) << BASE_PROVIDER_SHIFT)
+                    | (conf << BASE_CONF_SHIFT)
+                )
+        self._packed_list = packed
+        self._packed = np.asarray(packed, dtype=np.int32)
+
+    @property
+    def recorded(self) -> bool:
+        return self._packed_list is not None
+
+    def packed_stream(self) -> List[int]:
+        """The per-record base outputs as a plain-int list (tail hot path)."""
+        if self._packed_list is None:
+            if self._packed is None:
+                raise RuntimeError("SharedBase.record() has not run yet")
+            self._packed_list = self._packed.tolist()
+        return self._packed_list
+
+    def footprint_bytes(self) -> int:
+        """Approximate memory held by the recorded stream (docs/telemetry)."""
+        return 0 if self._packed is None else int(self._packed.nbytes)
+
+    # -- lane tails --------------------------------------------------------------
+
+    def build_tsl_tail(self, tsl: TageSCL) -> Callable[[int, int, bool], bool]:
+        """Per-lane tail kernel for a plain TAGE-SC-L cell.
+
+        Replays the recorded base outputs and runs only the lane's own
+        statistical corrector and statistics -- the exact remainder of
+        :meth:`TageSCL._build_step` after its TAGE + loop section.
+        """
+        packed = self.packed_stream()
+        sc_fused = tsl.sc.fused_step if tsl.sc is not None else None
+        stats = tsl.stats
+        predictions_counter = stats.counter("predictions")
+        stats_add = stats.add
+
+        def tail(t: int, pc: int, taken: bool) -> bool:
+            word = packed[t]
+            tsl_pred = (word & BASE_TSL_PRED) != 0
+            if sc_fused is not None:
+                final = sc_fused(t, pc, tsl_pred, word >> BASE_CONF_SHIFT, taken)
+            else:
+                final = tsl_pred
+            if final != taken:
+                stats_add("mispredictions")
+            if final != ((word & BASE_BIM_PRED) != 0):
+                stats_add("fast_path_overrides")
+            predictions_counter.value += 1
+            return final != taken
+
+        return tail

@@ -39,13 +39,32 @@ class TSLPrediction:
 
 
 class TageSCL:
-    """A complete TAGE-SC-L instance bound to one trace."""
+    """A complete TAGE-SC-L instance bound to one trace.
 
-    def __init__(self, config: TageConfig, tensors: TraceTensors) -> None:
+    ``core``/``loop`` optionally inject pre-built shared components: the
+    batched backend (:mod:`repro.core.batched`) drives one TAGE core and
+    loop predictor for every lane that shares a :class:`TageConfig`, and
+    each lane's TSL then owns only its statistical corrector and stats.
+    When ``core`` is injected the caller must also replace ``self.step``
+    (the default kernel would advance the shared core a second time);
+    ``loop`` is only consulted alongside ``core``.
+    """
+
+    def __init__(
+        self,
+        config: TageConfig,
+        tensors: TraceTensors,
+        core: Optional[TageCore] = None,
+        loop: Optional[LoopPredictor] = None,
+    ) -> None:
         self.config = config
         self.name = config.name
-        self.tage = TageCore(config, tensors)
-        self.loop = LoopPredictor(config.loop_entries) if config.use_loop else None
+        if core is not None:
+            self.tage = core
+            self.loop = loop
+        else:
+            self.tage = TageCore(config, tensors)
+            self.loop = LoopPredictor(config.loop_entries) if config.use_loop else None
         self.sc = StatisticalCorrector(config, tensors) if config.use_sc else None
         self.stats = StatGroup(f"tsl[{config.name}]")
         #: fused predict+update entry point used by the simulation loop

@@ -1,0 +1,243 @@
+"""Batched-backend equivalence: batched execution must match reference bit for bit.
+
+The config-batched backend (:mod:`repro.core.batched`) runs a group of
+matrix cells sharing one base :class:`~repro.tage.config.TageConfig` as
+a single shared-base pass plus per-lane replay tails.  This suite is its
+correctness contract: for every workload profile, every batchable
+configuration family, and a Fig-16 capacity-sweep group, the batched
+result must be *identical* to the reference backend -- misprediction
+counts, statistics, derived metrics, and (the strong form) full internal
+predictor state down to every table entry.  It also pins the fallback
+path for structurally non-batchable configurations, crash-retry
+bit-identity for batched groups, and the backend-keyed timing store's
+migration of bare legacy keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Runner, RunnerConfig, TimingStore
+from repro.core.batched import base_config, plan_batches, run_group
+from repro.core.simulator import (
+    BACKEND_AUTO,
+    BACKEND_BATCHED,
+    BACKEND_REFERENCE,
+    resolve_backend,
+    simulate,
+)
+from repro.experiments.fig16_capacity import FIG16A_CONTEXTS
+from repro.obs.metrics import registry as obs_registry
+from repro.tage.config import tsl_64k
+from repro.traces.workloads import WORKLOAD_NAMES
+from tests.conftest import TEST_SCALE
+from tests.test_step_equivalence import _predictor_state
+
+CONFIG_NAMES = ("tsl_64k", "llbp", "llbpx")
+NUM_BRANCHES = 2_000
+SMALL = RunnerConfig(scale=TEST_SCALE, num_branches=NUM_BRANCHES)
+
+
+def _reference_outcome(runner, workload, name, **overrides):
+    """The reference backend's (result, predictor) for one cell.
+
+    Mirrors ``Runner.run_one`` but keeps the predictor instance so its
+    final table state can be digested and compared against the batched
+    lane's predictor.
+    """
+    bundle = runner.bundle(workload)
+    predictor = runner.build_predictor(name, bundle, **overrides)
+    result = simulate(
+        predictor,
+        bundle.trace,
+        bundle.tensors,
+        warmup_fraction=runner.config.warmup_fraction,
+    )
+    result.predictor = name
+    return result, predictor
+
+
+def _assert_lane_matches_reference(outcome, reference_result, reference_predictor):
+    assert outcome.result.mispredictions == reference_result.mispredictions
+    assert outcome.result.warmup_mispredictions == reference_result.warmup_mispredictions
+    assert outcome.result.conditional_branches == reference_result.conditional_branches
+    assert outcome.result.stats == reference_result.stats
+    assert outcome.result.extra == reference_result.extra
+    assert outcome.result == reference_result  # full dataclass equality
+    assert _predictor_state(outcome.predictor) == _predictor_state(reference_predictor)
+
+
+# -- bit-identity: every workload, every batchable family -----------------------
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_batched_group_is_bit_identical(workload):
+    cells = [(workload, name, {}) for name in CONFIG_NAMES]
+    plan = plan_batches(cells, TEST_SCALE)
+    assert [len(g) for g in plan.groups] == [len(CONFIG_NAMES)]
+    assert plan.singles == [] and plan.fallbacks == 0
+
+    batched_runner = Runner(SMALL)
+    outcomes = run_group(batched_runner, workload, plan.groups[0])
+    assert [o.cell for o in outcomes] == cells
+
+    reference_runner = Runner(SMALL)
+    for outcome in outcomes:
+        _, name, _ = outcome.cell
+        result, predictor = _reference_outcome(reference_runner, workload, name)
+        _assert_lane_matches_reference(outcome, result, predictor)
+        assert outcome.backend == "batched"
+        assert outcome.seconds > 0
+
+
+def test_fig16_capacity_sweep_group_is_bit_identical():
+    """The motivating group: tsl_64k + the Fig-16a LLBP-X capacity lanes."""
+    cells = [("kafka", "tsl_64k", {})] + [
+        ("kafka", "llbpx_0lat", {"num_contexts": contexts, "store_assoc": 64})
+        for contexts in FIG16A_CONTEXTS
+    ]
+    plan = plan_batches(cells, TEST_SCALE)
+    assert plan.lanes == len(cells) and plan.fallbacks == 0
+
+    outcomes = run_group(Runner(SMALL), "kafka", plan.groups[0])
+    reference_runner = Runner(SMALL)
+    for outcome in outcomes:
+        _, name, overrides = outcome.cell
+        result, predictor = _reference_outcome(reference_runner, "kafka", name, **overrides)
+        _assert_lane_matches_reference(outcome, result, predictor)
+
+
+# -- planning and fallback ------------------------------------------------------
+
+
+class TestPlanning:
+    def test_base_config_of_llbp_family_is_shared_tsl_64k(self):
+        expected = tsl_64k(scale=TEST_SCALE)
+        for name in ("llbp", "llbp_0lat", "llbpx", "llbpx_0lat"):
+            assert base_config(name, TEST_SCALE) == expected
+        assert base_config("tsl_64k", TEST_SCALE) == expected
+
+    def test_base_config_rejects_structurally_divergent_cells(self):
+        assert base_config("tsl_inf", TEST_SCALE) is None  # infinite capacity
+        assert base_config("llbpx_optw", TEST_SCALE) is None  # profile-then-replay
+        assert base_config("nonsense", TEST_SCALE) is None
+
+    def test_plan_routes_infinite_to_singles(self):
+        cells = [("kafka", "tsl_inf", {}), ("kafka", "tsl_64k", {}), ("kafka", "llbp", {})]
+        plan = plan_batches(cells, TEST_SCALE)
+        assert plan.singles == [("kafka", "tsl_inf", {})]
+        assert plan.fallbacks == 1
+        assert [len(g) for g in plan.groups] == [2]
+
+    def test_min_lanes_demotes_singleton_groups(self):
+        cells = [("kafka", "tsl_16k", {}), ("kafka", "tsl_64k", {}), ("kafka", "llbp", {})]
+        plan = plan_batches(cells, TEST_SCALE, min_lanes=2)
+        # tsl_16k has its own base config: a one-lane group, demoted
+        assert ("kafka", "tsl_16k", {}) in plan.singles
+        assert plan.fallbacks == 0  # demotion is not a structural fallback
+        forced = plan_batches(cells, TEST_SCALE, min_lanes=1)
+        assert forced.singles == [] and forced.lanes == 3
+
+    def test_resolve_backend_values(self):
+        assert resolve_backend(None) == BACKEND_AUTO
+        assert resolve_backend(BACKEND_REFERENCE) == BACKEND_REFERENCE
+        assert resolve_backend(BACKEND_BATCHED) == BACKEND_BATCHED
+        with pytest.raises(ValueError):
+            resolve_backend("vectorised")
+
+
+class TestRunnerIntegration:
+    CELLS = [
+        (workload, name, {})
+        for workload in ("kafka", "nodeapp")
+        for name in ("tsl_64k", "llbp", "tsl_inf")
+    ]
+
+    def test_auto_backend_matches_reference_and_reports_groups(self):
+        expected = Runner(SMALL, backend=BACKEND_REFERENCE).run_cells(self.CELLS)
+        fallbacks_before = obs_registry().counter("backend.fallbacks").value
+        runner = Runner(SMALL)  # default backend: auto
+        assert runner.run_cells(self.CELLS) == expected
+        assert obs_registry().counter("backend.fallbacks").value == fallbacks_before + 2
+
+        report = runner.report
+        assert report.batched_group_sizes == [2, 2]  # one group per workload
+        totals = report.totals()
+        assert totals["batched_groups"] == 2 and totals["batched_lanes"] == 4
+        assert "batched_groups=2" in report.summary()
+        backends = {
+            (entry.workload, entry.config): entry.backend for entry in report.cells()
+        }
+        assert backends[("kafka", "tsl_64k")] == "batched"
+        assert backends[("kafka", "tsl_inf")] == "reference"
+
+    def test_auto_timings_are_keyed_by_backend(self):
+        runner = Runner(SMALL)
+        runner.run_cells([("kafka", "tsl_64k", {}), ("kafka", "llbp", {})])
+        timings = runner.timing_store()
+        assert timings.get("kafka", "tsl_64k", backend="batched") is not None
+        assert timings.get("kafka", "tsl_64k") is None  # no reference observation
+
+    def test_forced_batched_runs_singleton_groups(self):
+        expected = Runner(SMALL, backend=BACKEND_REFERENCE).run_one("kafka", "tsl_64k")
+        runner = Runner(SMALL, backend=BACKEND_BATCHED)
+        assert runner.run_cells([("kafka", "tsl_64k", {})]) == [expected]
+        assert runner.report.batched_group_sizes == [1]
+
+    def test_forced_reference_never_groups(self):
+        runner = Runner(SMALL, backend=BACKEND_REFERENCE)
+        runner.run_cells([("kafka", "tsl_64k", {}), ("kafka", "llbp", {})])
+        assert runner.report.batched_group_sizes == []
+        assert all(entry.backend == "reference" for entry in runner.report.cells())
+
+    def test_parallel_batched_matches_serial_reference(self):
+        cells = [(w, c, {}) for w in ("kafka", "nodeapp") for c in ("tsl_64k", "llbp")]
+        expected = Runner(SMALL, backend=BACKEND_REFERENCE).run_cells(cells)
+        runner = Runner(SMALL)
+        assert runner.run_cells(cells, jobs=2) == expected
+        assert runner.report.totals()["batched_lanes"] == 4
+
+
+# -- fault tolerance ------------------------------------------------------------
+
+
+def test_crash_in_batched_group_retries_bit_identically(tmp_path, monkeypatch):
+    """A worker crash mid-group kills every lane; the retry must still match."""
+    cells = [(w, c, {}) for w in ("kafka", "nodeapp") for c in ("tsl_64k", "llbp")]
+    expected = Runner(SMALL, backend=BACKEND_REFERENCE).run_cells(cells)
+    monkeypatch.setenv(
+        "REPRO_FAULT_SPEC",
+        f"ledger={tmp_path / 'ledger'};crash:kafka/tsl_64k:1",
+    )
+    runner = Runner(SMALL)
+    assert runner.run_cells(cells, jobs=2) == expected
+    # the crash is recorded (failure incidents, then retries) yet every
+    # cell still resolves by simulation
+    assert runner.report.totals()["retries"] >= 1
+    assert all(entry.source == "simulated" for entry in runner.report.cells())
+    # the crashed group's member cells were re-attempted together
+    kafka_entries = [e for e in runner.report.cells() if e.workload == "kafka"]
+    assert any(e.attempts >= 2 for e in kafka_entries)
+
+
+# -- timing-store backend dimension ---------------------------------------------
+
+
+class TestTimingStoreBackendKeys:
+    def test_bare_legacy_keys_migrate_to_reference(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        path.write_text(json.dumps({"version": 1, "seconds": {"kafka/llbp": 2.0}}))
+        store = TimingStore(path)
+        assert store.get("kafka", "llbp") == 2.0  # default backend: reference
+        assert store.get("kafka", "llbp", backend="batched") is None
+        store.save()
+        assert json.loads(path.read_text())["seconds"] == {"kafka/llbp@reference": 2.0}
+
+    def test_backends_are_independent_series(self):
+        store = TimingStore()
+        store.observe("kafka", "llbp", 4.0)
+        store.observe("kafka", "llbp", 1.0, backend="batched")
+        assert store.get("kafka", "llbp") == 4.0
+        assert store.get("kafka", "llbp", backend="batched") == 1.0

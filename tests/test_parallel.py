@@ -180,7 +180,7 @@ class TestTimingStore:
         assert len(store) == 0
         store.observe("w", "c", 1.0)
         store.save()
-        assert json.loads(path.read_text())["seconds"] == {"w/c": 1.0}
+        assert json.loads(path.read_text())["seconds"] == {"w/c@reference": 1.0}
 
     def test_in_memory_save_is_noop(self):
         TimingStore().save()  # must not raise
