@@ -79,6 +79,11 @@ KNOWN_REPORTS = (
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
+    if getattr(args, "jobs", None) == 0:
+        from repro.core.parallel import effective_jobs
+
+        args.jobs = effective_jobs(0)
+        logger.info("jobs: auto-selected %d (one per core)", args.jobs)
     cache = None
     if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
         cache = ResultCache(args.cache_dir)
@@ -104,6 +109,24 @@ def _make_runner(args: argparse.Namespace) -> Runner:
             built,
             len(WORKLOAD_NAMES) - built,
         )
+    if getattr(args, "join", False):
+        from repro.core.sched import HOSTS_DIRNAME, CoopScheduler, HostLedger
+
+        if cache is None:
+            print(
+                "--join requires --cache-dir (the shared result cache is the "
+                "inter-host result channel) and is incompatible with --no-cache",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        hosts_dir = getattr(args, "hosts_dir", None) or (cache.cache_dir / HOSTS_DIRNAME)
+        ledger = HostLedger(hosts_dir, host_id=getattr(args, "host_id", None))
+        claim_batch = getattr(args, "claim_batch", None)
+        if claim_batch:
+            runner.coop = CoopScheduler(ledger, claim_batch=claim_batch)
+        else:
+            runner.coop = CoopScheduler(ledger)
+        logger.info("joined multi-host run as %s (ledger: %s)", ledger.host_id, ledger.root)
     return runner
 
 
@@ -147,6 +170,13 @@ def _publish_run_gauges(runner: Runner) -> None:
     registry.gauge("run.pool_rebuilds").set(float(runner.report.pool_rebuilds))
     registry.gauge("run.timeouts").set(float(runner.report.timeouts))
     registry.gauge("run.serial_fallback").set(1.0 if runner.report.serial_fallback else 0.0)
+    stats = runner.report.prediction_stats()
+    if stats["mape_percent"] is not None:
+        registry.gauge("run.cost_mape_percent").set(float(stats["mape_percent"]))
+    if runner.report.host_id:
+        registry.gauge("run.claims").set(float(runner.report.claims))
+        registry.gauge("run.peer_results").set(float(runner.report.peer_results))
+        registry.gauge("run.reaped_claims").set(float(runner.report.reaped_claims))
 
 
 def _write_metrics(path: str) -> None:
@@ -297,7 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--scale", type=int, default=8, help="capacity scale (DESIGN.md §1)")
     common.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for experiment matrices (1 = serial; results are bit-identical)",
+        help="worker processes for experiment matrices (1 = serial, 0 = one per "
+        "core; requests beyond the machine's cores are clamped; results are "
+        "bit-identical)",
     )
     common.add_argument(
         "--backend", choices=("auto", "reference", "batched"), default="auto",
@@ -323,6 +355,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-artifacts", action="store_true",
         help="with --artifact-dir: pre-build the bundle of every known workload "
         "before running, so the run itself performs zero trace generations",
+    )
+    common.add_argument(
+        "--join", action="store_true",
+        help="join an elastic multi-host run: claim uncached cells via the "
+        "shared ledger next to --cache-dir, adopt peer-published results, "
+        "and reap dead hosts' claims (requires --cache-dir; any number of "
+        "hosts sharing the directory cooperate, results stay bit-identical)",
+    )
+    common.add_argument(
+        "--host-id", default=None, metavar="ID",
+        help="with --join: this host's identity in the ledger "
+        "(default: <hostname>-<pid>)",
+    )
+    common.add_argument(
+        "--hosts-dir", default=None, metavar="DIR",
+        help="with --join: ledger directory for claims and heartbeats "
+        "(default: <cache-dir>/.hosts)",
+    )
+    common.add_argument(
+        "--claim-batch", type=int, default=None, metavar="N",
+        help="with --join: cells claimed per scheduling round (default: 4; "
+        "smaller batches spread work more evenly across hosts joining at "
+        "different times, larger ones reduce ledger round-trips)",
     )
     common.add_argument(
         "--retries", type=int, default=3, metavar="N",

@@ -50,6 +50,7 @@ schedules cell-granular.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from concurrent.futures import (
@@ -63,8 +64,15 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.costmodel import (  # noqa: F401  (re-exported for compat)
+    CONFIG_WEIGHTS,
+    _SECONDS_PER_BRANCH,
+    CostModel,
+    LearnedCostModel,
+    config_weight,
+    make_cost_model,
+)
 from repro.core.faults import active_injector
-from repro.core.results_io import TimingStore
 from repro.core.simulator import BACKEND_BATCHED, BACKEND_REFERENCE, SimulationResult
 from repro.obs.log import get_logger
 from repro.obs.metrics import registry as obs_registry
@@ -82,21 +90,6 @@ ChunkCell = Tuple[str, Mapping[str, object]]
 
 #: one cell-granular unit of work: ``(workload, config name, overrides)``
 Cell = Tuple[str, str, Mapping[str, object]]
-
-#: relative single-simulation cost by config-name prefix (first match
-#: wins; measured on the shipped kernels -- Opt-W replays three LLBP-X
-#: simulations).  Only scheduling order depends on these.
-CONFIG_WEIGHTS: Tuple[Tuple[str, float], ...] = (
-    ("llbpx_optw", 5.4),
-    ("llbpx", 1.9),
-    ("llbp", 1.6),
-    ("tsl_inf", 1.3),
-)
-
-#: static per-branch cost scale (seconds/branch at the measured ~100k
-#: branches/sec baseline rate) -- keeps static estimates in the same
-#: units as observed timings
-_SECONDS_PER_BRANCH = 1e-5
 
 #: bundles a worker process keeps alive across cells (LRU)
 MAX_WORKER_BUNDLES = 4
@@ -160,58 +153,6 @@ def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool = False) -> None:
                 process.terminate()
             except Exception:  # pragma: no cover - already dead
                 pass
-
-
-def config_weight(name: str) -> float:
-    """Relative cost weight of a predictor configuration."""
-    for prefix, weight in CONFIG_WEIGHTS:
-        if name.startswith(prefix):
-            return weight
-    return 1.0
-
-
-class CostModel:
-    """Expected wall-clock of one cell, for longest-expected-first order.
-
-    The static estimate is ``trace length x configuration weight``; an
-    attached :class:`TimingStore` overrides it with the observed EMA for
-    cells that have run before (persisted alongside the result cache, so
-    estimates survive across invocations).  Estimates order the queue --
-    they never affect results.
-    """
-
-    def __init__(self, timings: Optional[TimingStore] = None) -> None:
-        self.timings = timings
-
-    def estimate(
-        self, workload: str, name: str, num_branches: int, backend: str = BACKEND_REFERENCE
-    ) -> float:
-        """Expected seconds of one cell under ``backend``.
-
-        Observed timings are backend-keyed (a batched lane's attributable
-        cost differs systematically from a reference execution); a
-        batched cell with no batched history borrows the reference
-        observation -- an overestimate, which only makes the scheduler
-        start the group earlier -- before falling back to the static
-        estimate.
-        """
-        if self.timings is not None:
-            observed = self.timings.get(workload, name, backend)
-            if observed is None and backend != BACKEND_REFERENCE:
-                observed = self.timings.get(workload, name)
-            if observed is not None:
-                return observed
-        return num_branches * config_weight(name) * _SECONDS_PER_BRANCH
-
-    def observe(
-        self, workload: str, name: str, seconds: float, backend: str = BACKEND_REFERENCE
-    ) -> None:
-        if self.timings is not None:
-            self.timings.observe(workload, name, seconds, backend)
-
-    def save(self) -> None:
-        if self.timings is not None:
-            self.timings.save()
 
 
 # -- worker side ---------------------------------------------------------------
@@ -357,6 +298,30 @@ def simulate_task(
 # -- parent side ---------------------------------------------------------------
 
 
+def effective_jobs(jobs: Optional[int]) -> int:
+    """Resolve a requested job count against the machine's cores.
+
+    ``0``/``None`` means *auto* (one job per core).  Requests beyond
+    ``os.cpu_count()`` are clamped with a warning: oversubscribed pools
+    measurably regress (the BENCH matrix showed ``jobs=2`` at 0.58x of
+    ``jobs=1`` on a 1-CPU box -- pure scheduling thrash).
+    """
+    available = os.cpu_count() or 1
+    if not jobs:
+        return available
+    if jobs > available:
+        logger.warning(
+            "requested %d jobs on a %d-CPU machine; clamping to %d workers "
+            "(oversubscription runs slower, not faster)",
+            jobs,
+            available,
+            available,
+        )
+        obs_registry().counter("parallel.jobs_clamped").inc()
+        return available
+    return jobs
+
+
 def plan_tasks(cells: Sequence[Cell], config: "RunnerConfig", backend: str) -> List[_Task]:
     """Partition cells into schedulable tasks for ``backend``.
 
@@ -445,14 +410,25 @@ def run_cells_parallel(
     policy = policy or RetryPolicy()
     model = cost_model or CostModel()
 
+    #: per-cell predicted seconds captured at ordering time, so completed
+    #: cells can be scored predicted-vs-actual in the run report
+    predictions: Dict[Tuple[str, str, str], float] = {}
+
     def task_estimate(task: _Task) -> float:
-        return sum(
-            model.estimate(workload, name, config.num_branches, task.backend)
-            for workload, name, _ in task.cells
-        )
+        total = 0.0
+        for workload, name, _ in task.cells:
+            estimate = model.estimate(workload, name, config.num_branches, task.backend)
+            predictions[(workload, name, task.backend)] = estimate
+            total += estimate
+        return total
 
     ordered: List[_Task] = sorted(plan_tasks(cells, config, backend), key=task_estimate, reverse=True)
-    max_workers = max(1, min(jobs, len(ordered)))
+    if report is not None:
+        report.cost_model_kind = getattr(model, "kind", "heuristic")
+    # the *pool* is bounded by real cores even when the caller asked for
+    # more -- the jobs>1 dispatch path (and its fault handling) is kept,
+    # only the worker count is clamped
+    max_workers = max(1, min(effective_jobs(jobs), len(ordered)))
     attempts = [0] * len(ordered)
     #: (task index, earliest re-dispatch time) -- backoff lives here
     pending: Deque[Tuple[int, float]] = deque((i, 0.0) for i in range(len(ordered)))
@@ -506,9 +482,12 @@ def run_cells_parallel(
         if task.backend == BACKEND_BATCHED and report is not None:
             report.record_batched_group(len(task.cells))
         for (workload, name, overrides), result, seconds in triples:
-            model.observe(workload, name, seconds, task.backend)
+            model.observe(workload, name, seconds, task.backend, branches=config.num_branches)
             if report is not None:
                 report.record_success(workload, name, overrides, seconds, backend=task.backend)
+                predicted = predictions.get((workload, name, task.backend))
+                if predicted is not None:
+                    report.record_prediction(predicted, seconds)
             yield (workload, name, overrides), result
 
     def handle_break(detail: str) -> None:

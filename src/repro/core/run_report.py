@@ -78,6 +78,16 @@ class RunReport:
         self.serial_fallback = False
         #: lane count of every batched group executed this run
         self.batched_group_sizes: List[int] = []
+        #: (predicted, actual) seconds per completed cell -- the cost
+        #: model's scheduling estimates scored against reality
+        self.predictions: List[Tuple[float, float]] = []
+        #: which estimator produced the predictions ("heuristic"/"learned")
+        self.cost_model_kind = ""
+        #: multi-host scheduling counters (set by repro.core.sched)
+        self.host_id = ""
+        self.claims = 0
+        self.peer_results = 0
+        self.reaped_claims = 0
         self.started_at = time.time()
 
     # -- recording ----------------------------------------------------------
@@ -163,6 +173,22 @@ class RunReport:
         self.batched_group_sizes.append(int(lanes))
         emit_event("batched-group", lanes=lanes)
 
+    def record_prediction(self, predicted: float, actual: float) -> None:
+        """Score one completed cell's scheduling estimate against reality."""
+        self.predictions.append((float(predicted), float(actual)))
+
+    def record_claim(self, cells: int) -> None:
+        """This host claimed ``cells`` cells from the shared ledger."""
+        self.claims += int(cells)
+
+    def record_peer_result(self, cells: int = 1) -> None:
+        """``cells`` cells arrived via a peer host's published results."""
+        self.peer_results += int(cells)
+
+    def record_reap(self, cells: int = 1) -> None:
+        """``cells`` stale claims of a dead host were reaped for re-claim."""
+        self.reaped_claims += int(cells)
+
     # -- aggregates ---------------------------------------------------------
 
     def cells(self) -> List[CellReport]:
@@ -179,6 +205,23 @@ class RunReport:
     @property
     def total_interruptions(self) -> int:
         return sum(entry.interruptions for entry in self._cells.values())
+
+    def prediction_stats(self) -> Dict[str, object]:
+        """Predicted-vs-actual accuracy of the scheduling cost model.
+
+        MAPE over completed cells; zero-duration actuals are skipped
+        (nothing meaningful to divide by).
+        """
+        errors = [
+            abs(predicted - actual) / actual
+            for predicted, actual in self.predictions
+            if actual > 0
+        ]
+        return {
+            "kind": self.cost_model_kind,
+            "predictions": len(errors),
+            "mape_percent": round(100.0 * sum(errors) / len(errors), 2) if errors else None,
+        }
 
     def totals(self) -> Dict[str, object]:
         cells = list(self._cells.values())
@@ -213,8 +256,16 @@ class RunReport:
             "timeouts": self.timeouts,
             "serial_fallback": self.serial_fallback,
             "batched_group_sizes": list(self.batched_group_sizes),
+            "cost_model": self.prediction_stats(),
             "quarantined": 0,
         }
+        if self.host_id:
+            data["distributed"] = {
+                "host_id": self.host_id,
+                "claims": self.claims,
+                "peer_results": self.peer_results,
+                "reaped_claims": self.reaped_claims,
+            }
         if runner is not None:
             data["simulations"] = runner.sim_count
             quarantined = 0
@@ -239,6 +290,14 @@ class RunReport:
             f"batched_groups={len(sizes)} batched_lanes={sum(sizes)} "
             f"max_group_lanes={max(sizes) if sizes else 0}"
         )
+        stats = self.prediction_stats()
+        if stats["mape_percent"] is not None:
+            line += f" cost_model={stats['kind'] or 'heuristic'} cost_mape={stats['mape_percent']}%"
+        if self.host_id:
+            line += (
+                f" host={self.host_id} claims={self.claims} "
+                f"peer_results={self.peer_results} reaped_claims={self.reaped_claims}"
+            )
         if runner is not None:
             quarantined = 0
             if runner.cache is not None:

@@ -129,6 +129,10 @@ class Runner:
         #: backend changes only *how* cells execute, never the results,
         #: so it is deliberately not part of RunnerConfig (cache keys).
         self.backend = resolve_backend(backend)
+        #: optional :class:`~repro.core.sched.CoopScheduler` -- when set,
+        #: ``run_cells`` drains uncached cells through the multi-host
+        #: claim/publish protocol instead of simulating them all locally
+        self.coop = None
         self.report = RunReport()
         self.sim_count = 0
         self.bundle_builds = 0
@@ -432,11 +436,22 @@ class Runner:
                     progress(workload, name, result)
 
         with span("run_cells", cells=len(cells), pending=len(pending), jobs=jobs):
-            if jobs > 1 and len(pending) > 1:
-                from repro.core.parallel import CostModel, run_cells_parallel
+            if self.coop is not None and pending:
+                # elastic multi-host mode: claim/publish the uncached
+                # cells through the shared ledger (repro.core.sched);
+                # peer-completed cells arrive via the shared cache
+                from repro.core.sched import drain_cooperative
+
+                for (workload, name, overrides), result in drain_cooperative(
+                    self, list(cell_of.values()), jobs=jobs, backend=resolved
+                ):
+                    finish(result_key(workload, name, overrides), result)
+            elif jobs > 1 and len(pending) > 1:
+                from repro.core.costmodel import make_cost_model
+                from repro.core.parallel import run_cells_parallel
 
                 artifact_dir = str(self.artifacts.root) if self.artifacts is not None else None
-                model = CostModel(self.timing_store())
+                model = make_cost_model(self.timing_store())
                 for (workload, name, overrides), result in run_cells_parallel(
                     self.config,
                     list(cell_of.values()),
@@ -483,14 +498,20 @@ class Runner:
                                     cell_w, name, overrides, outcome.seconds, backend="batched"
                                 )
                                 self.timing_store().observe(
-                                    workload, name, outcome.seconds, backend="batched"
+                                    workload,
+                                    name,
+                                    outcome.seconds,
+                                    backend="batched",
+                                    branches=self.config.num_branches,
                                 )
                                 finish(result_key(cell_w, name, overrides), outcome.result)
                     for cell_w, name, overrides in singles:
                         started = time.perf_counter()
                         result = self.run_one(workload, name, use_cache=False, **overrides)
                         elapsed = time.perf_counter() - started
-                        self.timing_store().observe(workload, name, elapsed)
+                        self.timing_store().observe(
+                            workload, name, elapsed, branches=self.config.num_branches
+                        )
                         finish(result_key(cell_w, name, overrides), result)
                     if release_bundles:
                         self.release(workload)

@@ -189,6 +189,37 @@ def render_report(directory: Union[str, Path], top: int = 12) -> str:
         if sizes:
             lines.append("  group sizes: %s" % ", ".join(str(s) for s in sizes))
 
+    if "run.cost_mape_percent" in gauges:
+        lines.append("")
+        lines.append("cost model:")
+        lines.append(
+            "  predicted-vs-actual MAPE: %.2f%%" % float(gauges["run.cost_mape_percent"])
+        )
+
+    coop_events = [
+        e for e in events if e.get("type") in ("coop-start", "cell-claim", "peer-result", "claim-reaped")
+    ]
+    if coop_events or counters.get("sched.claims"):
+        hosts = sorted(
+            {str(e.get("host")) for e in coop_events if e.get("host") not in (None, "")}
+        )
+        lines.append("")
+        lines.append("distributed scheduling:")
+        lines.append(
+            "  hosts: %d  claims: %d  peer results: %d  reaped claims: %d  wait rounds: %d"
+            % (
+                len(hosts),
+                int(counters.get("sched.claims", 0)),
+                int(counters.get("sched.peer_results", 0)),
+                int(counters.get("sched.reaped_claims", 0)),
+                int(counters.get("sched.wait_rounds", 0)),
+            )
+        )
+        for host in hosts:
+            claims = sum(1 for e in coop_events if e.get("type") == "cell-claim" and e.get("host") == host)
+            peers = sum(1 for e in coop_events if e.get("type") == "peer-result" and e.get("host") == host)
+            lines.append("  %-32s claimed %d  adopted %d" % (host, claims, peers))
+
     timeline = _timeline(events)
     lines.append("")
     lines.append("fault/retry timeline:")

@@ -1,0 +1,245 @@
+"""Learned cost model: fit determinism, fallback, persistence/merge.
+
+The model only orders the scheduler's queue, so these tests pin the
+*contract* rather than exact coefficients: a synthetic corpus whose
+timings follow a known law must be predicted accurately (and strictly
+better than the static heuristic), a corpus below the sample threshold
+must leave the heuristic in charge, and coefficients must persist beside
+``timings.meta`` with larger-corpus-wins merge semantics mirroring
+``TimingStore.save()``.
+"""
+
+import json
+import math
+import os
+import unittest
+
+from repro.core.costmodel import (
+    COSTMODEL_FORMAT_VERSION,
+    DEFAULT_MIN_SAMPLES,
+    CostModel,
+    LearnedCostModel,
+    config_capacity_kb,
+    config_weight,
+    evaluate_cost_model,
+    feature_vector,
+    fit_ridge,
+    make_cost_model,
+)
+from repro.core.parallel import effective_jobs
+from repro.core.results_io import COSTMODEL_FILENAME, TimingStore
+
+import pytest
+
+
+#: synthetic timing law: seconds per branch per unit weight
+RATE = 2e-5
+
+WORKLOADS = ["kafka", "chirper", "delta", "wikipedia"]
+CONFIGS = ["tsl_64k", "llbp", "llbpx", "llbpx_optw"]
+
+
+def synthetic_store(path, noise=0.0):
+    """A TimingStore whose sample corpus follows ``RATE * branches * weight``."""
+    store = TimingStore(path)
+    for i, workload in enumerate(WORKLOADS):
+        for j, name in enumerate(CONFIGS):
+            branches = 4000 + 1000 * (i + j)
+            seconds = RATE * branches * config_weight(name) * (1.0 + noise * ((i + j) % 3 - 1))
+            store.observe(workload, name, seconds, branches=branches)
+    return store
+
+
+class TestFitRidge(unittest.TestCase):
+    def test_recovers_known_coefficients(self):
+        # y = 2 + 3*x1 - x2, exactly -- the tiny ridge penalty must not
+        # move the solution visibly
+        rows = [[1.0, float(a), float(b)] for a in range(4) for b in range(4)]
+        targets = [2.0 + 3.0 * row[1] - row[2] for row in rows]
+        coef = fit_ridge(rows, targets, ridge=1e-8)
+        self.assertAlmostEqual(coef[0], 2.0, places=3)
+        self.assertAlmostEqual(coef[1], 3.0, places=3)
+        self.assertAlmostEqual(coef[2], -1.0, places=3)
+
+    def test_deterministic(self):
+        rows = [[1.0, float(i), float(i * i % 5)] for i in range(10)]
+        targets = [0.5 * row[1] - 0.25 * row[2] for row in rows]
+        self.assertEqual(fit_ridge(rows, targets), fit_ridge(rows, targets))
+
+
+class TestFeatures(unittest.TestCase):
+    def test_capacity_parsing(self):
+        self.assertEqual(config_capacity_kb("tsl_64k"), 64.0)
+        self.assertEqual(config_capacity_kb("tsl_512k"), 512.0)
+        self.assertEqual(config_capacity_kb("tsl_inf"), 4096.0)
+        self.assertEqual(config_capacity_kb("llbp"), 64.0)
+        self.assertEqual(config_capacity_kb("llbpx_optw"), 64.0)
+
+    def test_vector_shape_and_intercept(self):
+        row = feature_vector("kafka", "llbpx", "reference", 8000)
+        self.assertEqual(row[0], 1.0)
+        self.assertAlmostEqual(row[1], math.log(8000))
+        # densities live in sane ranges
+        for value in row[4:]:
+            self.assertGreaterEqual(value, 0.0)
+            self.assertLessEqual(value, 1.5)
+
+    def test_unknown_workload_raises(self):
+        with self.assertRaises(KeyError):
+            feature_vector("not_a_workload", "llbp", "reference", 8000)
+
+
+class TestLearnedCostModel:
+    def test_fits_on_sufficient_corpus(self, tmp_path):
+        store = synthetic_store(tmp_path / "timings.meta")
+        model = LearnedCostModel(store, min_samples=12)
+        assert model.kind == "learned"
+        assert model.samples_used == len(WORKLOADS) * len(CONFIGS)
+
+    def test_learned_beats_heuristic_on_held_out_samples(self, tmp_path):
+        store = synthetic_store(tmp_path / "timings.meta")
+        stats = evaluate_cost_model(store, min_samples=12)
+        assert stats is not None
+        assert stats["learned_mape_percent"] < stats["heuristic_mape_percent"]
+        # the corpus follows an exact log-linear law; the fit should be tight
+        assert stats["learned_mape_percent"] < 15.0
+
+    def test_predicts_unseen_cell(self, tmp_path):
+        store = synthetic_store(tmp_path / "timings.meta")
+        model = LearnedCostModel(store, min_samples=12)
+        # a (workload, config, length) combination absent from the corpus
+        predicted = model.estimate("tpcc", "llbpx", 9000)
+        truth = RATE * 9000 * config_weight("llbpx")
+        assert abs(predicted - truth) / truth < 0.25
+
+    def test_fit_is_deterministic(self, tmp_path):
+        a = LearnedCostModel(synthetic_store(tmp_path / "a.meta"), min_samples=12)
+        b = LearnedCostModel(synthetic_store(tmp_path / "b.meta"), min_samples=12)
+        assert a.coefficients == b.coefficients
+
+    def test_falls_back_below_threshold(self, tmp_path):
+        store = TimingStore(tmp_path / "timings.meta")
+        for i, workload in enumerate(WORKLOADS[:2]):
+            store.observe(workload, "llbp", 0.5 + i, branches=8000)
+        model = LearnedCostModel(store, min_samples=12)
+        assert model.kind == "heuristic"
+        # unseen cells get exactly the static estimate
+        assert model.estimate("tpcc", "llbpx", 9000) == CostModel.static_estimate("llbpx", 9000)
+
+    def test_observed_ema_beats_the_model(self, tmp_path):
+        store = synthetic_store(tmp_path / "timings.meta")
+        store.observe("kafka", "llbp", 123.0)  # wildly off the law, but observed
+        model = LearnedCostModel(store, min_samples=12)
+        assert model.estimate("kafka", "llbp", 8000) == store.get("kafka", "llbp")
+
+    def test_evaluate_returns_none_when_too_small(self, tmp_path):
+        store = TimingStore(tmp_path / "timings.meta")
+        store.observe("kafka", "llbp", 0.5, branches=8000)
+        assert evaluate_cost_model(store, min_samples=12) is None
+
+    def test_make_cost_model_is_learned_and_self_falling_back(self, tmp_path):
+        model = make_cost_model(TimingStore(tmp_path / "timings.meta"))
+        assert isinstance(model, LearnedCostModel)
+        assert model.kind == "heuristic"  # empty corpus
+
+
+class TestCoefficientPersistence:
+    def test_save_writes_beside_timings(self, tmp_path):
+        store = synthetic_store(tmp_path / "timings.meta")
+        model = LearnedCostModel(store, min_samples=12)
+        model.kind  # trigger the fit
+        model.save()
+        path = tmp_path / COSTMODEL_FILENAME
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == COSTMODEL_FORMAT_VERSION
+        assert payload["samples"] == len(WORKLOADS) * len(CONFIGS)
+        # not a *.json file: the result cache's entry globs must not see it
+        assert not path.name.endswith(".json")
+
+    def test_fresh_store_adopts_persisted_fit(self, tmp_path):
+        trained = LearnedCostModel(synthetic_store(tmp_path / "timings.meta"), min_samples=12)
+        trained.kind
+        trained.save()
+        # a cold host sharing the directory: empty corpus, persisted fit
+        cold = LearnedCostModel(
+            TimingStore(tmp_path / "other.meta"),
+            path=tmp_path / COSTMODEL_FILENAME,
+            min_samples=12,
+        )
+        assert cold.kind == "learned"
+        assert cold.samples_used == trained.samples_used
+        assert cold.coefficients == trained.coefficients
+
+    def test_larger_corpus_wins_on_save(self, tmp_path):
+        path = tmp_path / COSTMODEL_FILENAME
+        big = LearnedCostModel(synthetic_store(tmp_path / "big.meta"), path=path, min_samples=12)
+        big.kind
+        big.save()
+        before = path.read_text()
+        # a smaller corpus must not clobber the better-trained fit
+        small_store = TimingStore(tmp_path / "small.meta")
+        for i, workload in enumerate(WORKLOADS[:3]):
+            for j, name in enumerate(CONFIGS):
+                branches = 4000 + 1000 * (i + j)
+                small_store.observe(
+                    workload, name, RATE * branches * config_weight(name), branches=branches
+                )
+        small = LearnedCostModel(small_store, path=path, min_samples=12)
+        assert small.kind == "learned"
+        assert small.samples_used == 12
+        small.save()
+        assert path.read_text() == before
+
+    def test_corrupt_coefficients_read_empty(self, tmp_path):
+        path = tmp_path / COSTMODEL_FILENAME
+        path.write_text("{not json")
+        model = LearnedCostModel(
+            TimingStore(tmp_path / "timings.meta"), path=path, min_samples=12
+        )
+        assert model.kind == "heuristic"
+
+
+class TestSampleCorpusMerge:
+    def test_samples_persist_and_reload(self, tmp_path):
+        store = synthetic_store(tmp_path / "timings.meta")
+        store.save()
+        reloaded = TimingStore(tmp_path / "timings.meta")
+        assert reloaded.sample_count == store.sample_count
+        assert reloaded.samples() == store.samples()
+
+    def test_merge_on_save_keeps_both_hosts_samples(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        mine = TimingStore(path)
+        mine.observe("kafka", "llbp", 0.5, branches=8000)
+        theirs = TimingStore(path)
+        theirs.observe("chirper", "llbpx", 1.5, branches=8000)
+        theirs.save()
+        mine.save()  # must adopt, not clobber, the foreign samples
+        merged = TimingStore(path)
+        keys = {(w, c) for w, c, _, _, _, _ in merged.samples()}
+        assert keys == {("kafka", "llbp"), ("chirper", "llbpx")}
+
+    def test_old_format_without_samples_still_reads(self, tmp_path):
+        path = tmp_path / "timings.meta"
+        path.write_text(json.dumps({"version": 1, "seconds": {"kafka/llbp@reference": 0.5}}))
+        store = TimingStore(path)
+        assert store.get("kafka", "llbp") == 0.5
+        assert store.sample_count == 0
+
+
+class TestJobsClamp(unittest.TestCase):
+    def test_auto_is_cpu_count(self):
+        self.assertEqual(effective_jobs(0), os.cpu_count() or 1)
+        self.assertEqual(effective_jobs(None), os.cpu_count() or 1)
+
+    def test_oversubscription_clamped(self):
+        available = os.cpu_count() or 1
+        self.assertEqual(effective_jobs(available + 5), available)
+
+    def test_within_budget_untouched(self):
+        self.assertEqual(effective_jobs(1), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,241 @@
+"""Elastic multi-host scheduling: claims, reaping, cooperative drains.
+
+The tentpole guarantees pinned here:
+
+* two processes racing over one claim set partition it **exactly once**
+  (no cell claimed twice, no cell unclaimed);
+* a claimant that dies holding claims has them reaped and its cells
+  re-run, and the final matrix is **bit-identical** to a single-host
+  run;
+* two cooperating hosts drain a cold matrix with **zero duplicate
+  simulations** and results bit-identical to a single-host run.
+
+The tests fork real processes (claims are an inter-process protocol);
+everything is same-machine, so reaping exercises the authoritative
+``pid_alive`` path.  Workloads are short (8K branches) to keep this in
+tier-1 time.
+"""
+
+import multiprocessing
+import os
+import time
+import unittest
+
+import pytest
+
+from repro.core import (
+    CoopScheduler,
+    HostLedger,
+    ResultCache,
+    Runner,
+    RunnerConfig,
+)
+from repro.core.sched import drain_cooperative
+
+BRANCHES = 8_000
+WORKLOADS = ["kafka", "chirper"]
+CONFIGS = ["tsl_64k", "llbp"]
+
+
+def _mpki_table(matrix):
+    return {f"{w}/{c}": matrix[w][c].mpki for w in matrix for c in matrix[w]}
+
+
+def _solo_matrix():
+    runner = Runner(RunnerConfig(num_branches=BRANCHES))
+    return _mpki_table(runner.run_matrix(WORKLOADS, CONFIGS))
+
+
+def _claim_racer(root, tokens, host_id, barrier, queue):
+    ledger = HostLedger(root, host_id=host_id)
+    barrier.wait(timeout=30)
+    won = [token for token in tokens if ledger.claim(token)]
+    queue.put((host_id, won))
+
+
+def _coop_host(cache_dir, host_id, queue, claim_batch=1):
+    runner = Runner(RunnerConfig(num_branches=BRANCHES), cache=ResultCache(cache_dir))
+    ledger = HostLedger(os.path.join(cache_dir, ".hosts"), host_id=host_id)
+    runner.coop = CoopScheduler(ledger, claim_batch=claim_batch)
+    matrix = runner.run_matrix(WORKLOADS, CONFIGS)
+    queue.put(
+        (
+            host_id,
+            runner.sim_count,
+            runner.report.claims,
+            runner.report.peer_results,
+            _mpki_table(matrix),
+        )
+    )
+
+
+def _doomed_claimant(cache_dir, tokens, first_cell, queue):
+    """Claim every token, publish ONE result, then die holding the rest."""
+    runner = Runner(RunnerConfig(num_branches=BRANCHES), cache=ResultCache(cache_dir))
+    ledger = HostLedger(os.path.join(cache_dir, ".hosts"), host_id="doomed")
+    ledger.beat()
+    for token in tokens:
+        ledger.claim(token)
+    workload, name = first_cell
+    runner.run_one(workload, name)  # publishes to the shared cache
+    ledger.release(runner._digest(workload, name, {}))
+    queue.put("claims-held")
+    queue.close()
+    queue.join_thread()  # flush before the abrupt exit
+    os._exit(0)  # dies without releasing the remaining claims
+
+
+class TestHostLedger:
+    def test_claim_is_exclusive(self, tmp_path):
+        ledger = HostLedger(tmp_path, host_id="a")
+        assert ledger.claim("cell-1")
+        assert not ledger.claim("cell-1")
+        assert ledger.claim("cell-2")
+
+    def test_release_makes_reclaimable(self, tmp_path):
+        ledger = HostLedger(tmp_path, host_id="a")
+        assert ledger.claim("cell-1")
+        ledger.release("cell-1")
+        assert ledger.claim("cell-1")
+
+    def test_own_live_claim_never_stale(self, tmp_path):
+        ledger = HostLedger(tmp_path, host_id="a", heartbeat_ttl=0.0)
+        ledger.claim("cell-1")
+        assert ledger.reap_stale(["cell-1"]) == 0
+        assert not ledger.claim("cell-1")
+
+    def test_live_peer_claim_not_reaped(self, tmp_path):
+        peer = HostLedger(tmp_path, host_id="peer")
+        peer.beat()
+        peer.claim("cell-1")
+        me = HostLedger(tmp_path, host_id="me")
+        assert me.reap_stale(["cell-1"]) == 0
+
+    def test_dead_pid_claim_reaped_immediately(self, tmp_path):
+        # a forked child claims and exits; same-machine reaping needs no TTL
+        def child(root):
+            HostLedger(root, host_id="short-lived").claim("cell-1")
+
+        proc = multiprocessing.Process(target=child, args=(tmp_path,))
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        me = HostLedger(tmp_path, host_id="me")
+        assert me.reap_stale(["cell-1"]) == 1
+        assert me.claim("cell-1")
+
+    def test_heartbeat_lists_fresh_hosts(self, tmp_path):
+        a = HostLedger(tmp_path, host_id="a")
+        b = HostLedger(tmp_path, host_id="b")
+        a.beat()
+        b.beat()
+        assert a.hosts() == ["a", "b"]
+
+
+class TestClaimContention:
+    def test_two_processes_partition_exactly_once(self, tmp_path):
+        tokens = [f"cell-{i}" for i in range(24)]
+        barrier = multiprocessing.Barrier(2)
+        queue = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_claim_racer, args=(tmp_path, tokens, f"h{i}", barrier, queue)
+            )
+            for i in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        outcomes = dict(queue.get(timeout=60) for _ in procs)
+        for proc in procs:
+            proc.join(timeout=30)
+        all_won = [token for won in outcomes.values() for token in won]
+        assert sorted(all_won) == sorted(tokens)  # every cell claimed...
+        assert len(all_won) == len(set(all_won))  # ...by exactly one host
+
+
+class TestCooperativeDrain(unittest.TestCase):
+    def test_two_hosts_zero_duplicates_bit_identical(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            queue = multiprocessing.Queue()
+            procs = [
+                multiprocessing.Process(target=_coop_host, args=(cache_dir, f"h{i}", queue))
+                for i in range(2)
+            ]
+            for proc in procs:
+                proc.start()
+            outcomes = [queue.get(timeout=280) for _ in procs]
+            for proc in procs:
+                proc.join(timeout=30)
+            total_cells = len(WORKLOADS) * len(CONFIGS)
+            total_sims = sum(sims for _, sims, _, _, _ in outcomes)
+            self.assertEqual(total_sims, total_cells)  # zero duplicates
+            total_claims = sum(claims for _, _, claims, _, _ in outcomes)
+            # every cell claimed at least once (a claim raced against a
+            # publish may add a claim that resolves from cache -- still
+            # zero duplicate simulations)
+            self.assertGreaterEqual(total_claims, total_cells)
+            self.assertEqual(outcomes[0][4], outcomes[1][4])  # hosts agree
+            self.assertEqual(outcomes[0][4], _solo_matrix())  # == single-host
+
+    def test_killed_claimant_cells_reclaimed_and_rerun(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            # the doomed host claims every cell, completes one, and dies
+            # (os._exit) still holding the other claims
+            cells = [(w, c) for w in WORKLOADS for c in CONFIGS]
+            probe = Runner(RunnerConfig(num_branches=BRANCHES))
+            tokens = [probe._digest(w, c, {}) for w, c in cells]
+            queue = multiprocessing.Queue()
+            doomed = multiprocessing.Process(
+                target=_doomed_claimant, args=(cache_dir, tokens, cells[0], queue)
+            )
+            doomed.start()
+            self.assertEqual(queue.get(timeout=280), "claims-held")
+            doomed.join(timeout=30)
+            hosts_dir = os.path.join(cache_dir, ".hosts")
+            held = [t for t in tokens if (HostLedger(hosts_dir).claim_path(t)).exists()]
+            self.assertEqual(len(held), len(cells) - 1)
+
+            # the survivor must reap the dead host's claims and finish
+            runner = Runner(RunnerConfig(num_branches=BRANCHES), cache=ResultCache(cache_dir))
+            runner.coop = CoopScheduler(HostLedger(hosts_dir, host_id="survivor"))
+            matrix = runner.run_matrix(WORKLOADS, CONFIGS)
+            self.assertEqual(runner.report.reaped_claims, len(cells) - 1)
+            # the doomed host's completed cell arrives as an up-front
+            # cache hit, so only the reclaimed cells simulate
+            self.assertEqual(runner.sim_count, len(cells) - 1)
+            self.assertEqual(_mpki_table(matrix), _solo_matrix())  # bit-identical
+
+    def test_drain_requires_cache(self):
+        runner = Runner(RunnerConfig(num_branches=BRANCHES))
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as hosts_dir:
+            runner.coop = CoopScheduler(HostLedger(hosts_dir, host_id="a"))
+            with self.assertRaises(ValueError):
+                list(drain_cooperative(runner, [("kafka", "tsl_64k", {})]))
+
+
+class TestSingleHostUnchanged:
+    def test_coop_single_host_equals_plain(self, tmp_path):
+        # one host with --join behaves exactly like a plain cached run
+        plain = _solo_matrix()
+        runner = Runner(RunnerConfig(num_branches=BRANCHES), cache=ResultCache(tmp_path / "c"))
+        runner.coop = CoopScheduler(HostLedger(tmp_path / "c" / ".hosts", host_id="only"))
+        matrix = runner.run_matrix(WORKLOADS, CONFIGS)
+        assert _mpki_table(matrix) == plain
+        assert runner.report.claims == len(WORKLOADS) * len(CONFIGS)
+        assert runner.report.peer_results == 0
+        # warm re-run: everything cached, nothing claimed
+        rerun = Runner(RunnerConfig(num_branches=BRANCHES), cache=ResultCache(tmp_path / "c"))
+        rerun.coop = CoopScheduler(HostLedger(tmp_path / "c" / ".hosts", host_id="again"))
+        assert _mpki_table(rerun.run_matrix(WORKLOADS, CONFIGS)) == plain
+        assert rerun.sim_count == 0
+        assert rerun.report.claims == 0
+
+
+if __name__ == "__main__":
+    unittest.main()
