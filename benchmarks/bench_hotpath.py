@@ -19,8 +19,19 @@ kernel, a resurrected per-branch allocation) trip it on shared runners.
 ``run_cells`` call on that backend; ``compare`` times both, asserts the
 results are bit-identical, and reports the batched speedup (gated by
 ``--batched-floor``).  ``--capacity-sweep N`` swaps the column for the
-Fig-16-style group batching was built for: ``tsl_64k`` plus ``N - 1``
-``llbpx_0lat`` capacity lanes sharing one base.
+Fig-16-style group batching was built for: by default (``--sweep-flavor
+llbpx``) ``tsl_64k`` plus ``N - 1`` ``llbpx_0lat`` capacity lanes
+sharing one base; ``--sweep-flavor tsl`` uses the Fig-16b TSL capacity
+presets instead -- ``N`` lanes with ``N`` *distinct* bases, the
+singleton-heavy shape persistent base streams exist for.
+
+``--backend base`` times the same column twice on the batched backend
+against one artifact store with a cold result cache: a cold-base pass
+that records every group's shared-base stream, then a warm-base pass
+that adopts the persisted streams and runs tail-only.  Bit-identity
+between the passes is asserted before the timings count, and
+``--base-floor RATIO`` gates the warm speedup the same way
+``--batched-floor`` gates ``compare``.
 
 Usage::
 
@@ -31,6 +42,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_hotpath.py \
         --backend compare --capacity-sweep 5 --branches 40000 \
         --batched-floor 1.05
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --backend base --capacity-sweep 7 --sweep-flavor tsl \
+        --branches 40000 --base-floor 1.4
 """
 
 from __future__ import annotations
@@ -40,15 +54,25 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.core import Runner, RunnerConfig
+from repro.core import ArtifactStore, Runner, RunnerConfig
+from repro.core.batched import base_config as base_config_of
 from repro.core.simulator import BACKEND_BATCHED, BACKEND_REFERENCE, simulate
 from repro.experiments.fig16_capacity import FIG16A_CONTEXTS
 
 DEFAULT_CONFIGS = "tsl_64k,llbp,llbpx"
+
+#: ``--sweep-flavor tsl``: the Fig-16b-style baseline-capacity lanes.
+#: Every preset is its own base config, so a cold batched plan sees only
+#: singletons (demoted to reference) while a warm artifact store turns
+#: each into a tail-only replay -- the persistent-stream stress shape.
+TSL_SWEEP_PRESETS = (
+    "tsl_8k", "tsl_16k", "tsl_32k", "tsl_64k", "tsl_128k", "tsl_256k", "tsl_512k",
+)
 
 
 def bench_config(runner: Runner, workload: str, name: str) -> dict:
@@ -83,15 +107,19 @@ def bench_config(runner: Runner, workload: str, name: str) -> dict:
     }
 
 
-def sweep_cells(workload: str, configs: list, lanes: int) -> list:
+def sweep_cells(workload: str, configs: list, lanes: int, flavor: str = "llbpx") -> list:
     """The cell column a group-backend run times.
 
     Without ``--capacity-sweep`` it is one lane per ``--configs`` entry;
-    with it, ``tsl_64k`` plus ``lanes - 1`` LLBP-X capacity points -- the
-    shared-base group the batched backend exists for.
+    with it, either ``tsl_64k`` plus ``lanes - 1`` LLBP-X capacity points
+    sharing one base (the shared-base group the batched backend exists
+    for), or -- ``flavor="tsl"`` -- ``lanes`` Fig-16b TSL presets with
+    ``lanes`` distinct bases.
     """
     if lanes <= 0:
         return [(workload, name, {}) for name in configs]
+    if flavor == "tsl":
+        return [(workload, name, {}) for name in TSL_SWEEP_PRESETS[:lanes]]
     cells = [(workload, "tsl_64k", {})]
     for contexts in FIG16A_CONTEXTS[: lanes - 1]:
         cells.append((workload, "llbpx_0lat", {"num_contexts": contexts, "store_assoc": 64}))
@@ -112,9 +140,74 @@ def bench_backend(config: RunnerConfig, workload: str, cells: list, backend: str
     return time.perf_counter() - start, results
 
 
+def bench_base_streams(args, configs: list) -> dict:
+    """``--backend base``: cold-base vs warm-base batched execution.
+
+    Both passes run the same column on the batched backend with a cold
+    result cache against one artifact store.  The cold pass records the
+    shared-base streams it needs (singleton lanes have no group to
+    amortise a recording and fall back to reference); the warm pass
+    adopts every persisted stream and runs tail-only -- including lanes
+    that were reference fallbacks when cold, since a warm base admits
+    singleton batched groups.  Bit-identity is asserted first.
+    """
+    cells = sweep_cells(args.workload, configs, args.capacity_sweep, args.sweep_flavor)
+    run_config = RunnerConfig(scale=args.scale, num_branches=args.branches)
+    lanes = len(cells)
+    total_branches = lanes * args.branches
+    label = ", ".join(f"{w}/{n}" for w, n, _ in cells)
+    print(f"base-stream column: {lanes} lane(s) [{label}]")
+    section = {"lanes": lanes, "cells": [[w, n, o] for w, n, o in cells], "modes": {}}
+    results_by_mode = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-base-") as artifact_dir:
+        # prime the store so both timed passes mmap bundles identically,
+        # and record every base stream so the warm pass is fully warm
+        # (the cold pass only records streams for multi-lane groups)
+        bases = []
+        for _, name, _ in cells:
+            base = base_config_of(name, run_config.scale)
+            if base is not None and base not in bases:
+                bases.append(base)
+        for mode in ("cold", "warm"):
+            store = ArtifactStore(artifact_dir)
+            if mode == "cold":
+                # streams recorded by a previous pass would warm this one
+                for path in Path(artifact_dir).rglob("base_*.npy"):
+                    path.unlink()
+            runner = Runner(run_config, backend=BACKEND_BATCHED, artifacts=store)
+            runner.bundle(args.workload)
+            start = time.perf_counter()
+            results_by_mode[mode] = runner.run_cells(cells, release_bundles=False)
+            seconds = time.perf_counter() - start
+            section["modes"][mode] = {
+                "seconds": round(seconds, 4),
+                "lane_branches_per_second": round(total_branches / seconds),
+                "base_records": store.base_writes,
+                "base_loads": store.base_loads,
+            }
+            if mode == "cold":
+                # top up (untimed): persist streams for lanes the cold
+                # pass ran as reference fallbacks, so the warm pass is
+                # fully warm
+                store.warm_bases([args.workload], run_config, bases)
+            print(
+                f"{mode:>10s}: {seconds:8.3f}s  {total_branches / seconds:>9.0f} "
+                f"lane-branches/s  ({store.base_loads} streams loaded)"
+            )
+        assert section["modes"]["warm"]["base_records"] == 0, "warm pass re-recorded a stream"
+        assert section["modes"]["warm"]["base_loads"] >= 1, "warm pass loaded nothing"
+        assert results_by_mode["cold"] == results_by_mode["warm"], (
+            "warm-base replay diverged from cold-base execution"
+        )
+        speedup = section["modes"]["cold"]["seconds"] / section["modes"]["warm"]["seconds"]
+        section["warm_speedup"] = round(speedup, 3)
+        print(f"   warm speedup: x{speedup:.2f} (results bit-identical)")
+    return section
+
+
 def bench_backends(args, configs: list) -> dict:
     """The ``--backend`` modes: per-backend column timing (+ comparison)."""
-    cells = sweep_cells(args.workload, configs, args.capacity_sweep)
+    cells = sweep_cells(args.workload, configs, args.capacity_sweep, args.sweep_flavor)
     run_config = RunnerConfig(scale=args.scale, num_branches=args.branches)
     lanes = len(cells)
     total_branches = lanes * args.branches
@@ -162,20 +255,32 @@ def main(argv=None) -> int:
     parser.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
     parser.add_argument(
         "--backend", default="kernels",
-        choices=("kernels", "reference", "batched", "compare"),
-        help="what to time: per-config kernels (default), or the whole "
+        choices=("kernels", "reference", "batched", "compare", "base"),
+        help="what to time: per-config kernels (default), the whole "
              "config column on one execution backend (compare times both "
-             "and asserts bit-identity)",
+             "and asserts bit-identity), or base: cold-base vs warm-base "
+             "batched passes against one artifact store",
     )
     parser.add_argument(
         "--capacity-sweep", type=int, default=0, metavar="LANES",
-        help="backend modes only: replace --configs with tsl_64k plus "
-             "LANES-1 Fig-16 llbpx_0lat capacity lanes",
+        help="backend modes only: replace --configs with a LANES-lane "
+             "Fig-16 capacity sweep (see --sweep-flavor)",
+    )
+    parser.add_argument(
+        "--sweep-flavor", default="llbpx", choices=("llbpx", "tsl"),
+        help="capacity-sweep shape: llbpx = tsl_64k plus LANES-1 "
+             "llbpx_0lat lanes sharing one base; tsl = LANES Fig-16b TSL "
+             "presets, each its own base",
     )
     parser.add_argument(
         "--batched-floor", type=float, default=None, metavar="RATIO",
         help="compare mode only: fail (exit 1) if the batched speedup "
              "over reference is below RATIO",
+    )
+    parser.add_argument(
+        "--base-floor", type=float, default=None, metavar="RATIO",
+        help="base mode only: fail (exit 1) if the warm-base speedup "
+             "over the cold-base pass is below RATIO",
     )
     args = parser.parse_args(argv)
 
@@ -187,8 +292,11 @@ def main(argv=None) -> int:
     )
 
     backend_section = None
+    base_section = None
     rows = []
-    if args.backend != "kernels":
+    if args.backend == "base":
+        base_section = bench_base_streams(args, configs)
+    elif args.backend != "kernels":
         backend_section = bench_backends(args, configs)
     else:
         runner = Runner(RunnerConfig(scale=args.scale, num_branches=args.branches))
@@ -218,9 +326,27 @@ def main(argv=None) -> int:
     }
     if backend_section is not None:
         payload["backend_comparison"] = backend_section
+    if base_section is not None:
+        payload["base_streams"] = base_section
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+
+    if args.base_floor is not None:
+        if base_section is None:
+            print("FAIL: --base-floor requires --backend base", file=sys.stderr)
+            return 1
+        if base_section["warm_speedup"] < args.base_floor:
+            print(
+                f"FAIL: warm-base speedup x{base_section['warm_speedup']:.2f} "
+                f"below floor x{args.base_floor:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"base floor check passed "
+            f"(x{base_section['warm_speedup']:.2f} >= x{args.base_floor:.2f})"
+        )
 
     if args.batched_floor is not None:
         if backend_section is None or "speedup" not in backend_section:

@@ -13,7 +13,12 @@ Measures the experiment execution layer itself (not a paper figure):
   build vs artifact load vs simulate seconds, and
 * the execution backends: the full matrix and a Fig-16-style capacity
   sweep timed on the ``reference`` backend vs the config-batched one,
-  results asserted bit-identical before the timings count, and
+  results asserted bit-identical before the timings count,
+* persistent base streams: cold-base vs warm-base batched passes over
+  one artifact store with a cold result cache (every cell simulates;
+  the warm pass records zero streams and replays tail-only), on both
+  capacity-sweep shapes -- one shared base and distinct-base
+  singletons, and
 * distributed execution: 1-host vs 2-host cooperative drains of one
   cold shared store (ledger claims; zero duplicate simulations and
   bit-identity asserted), plus the learned cost model's held-out MAPE
@@ -37,6 +42,7 @@ import argparse
 import json
 import os
 import platform
+import sys
 import tempfile
 import time
 from datetime import datetime, timezone
@@ -55,6 +61,7 @@ from repro.core import (
     TimingStore,
     evaluate_cost_model,
 )
+from repro.core.batched import base_config as base_config_of
 from repro.core.results_io import TIMINGS_FILENAME
 from repro.traces.workloads import clear_trace_cache
 
@@ -246,6 +253,66 @@ def bench_backends(config, workloads, configs):
     return section
 
 
+def bench_base_streams(config, workloads, configs):
+    """Cold-base vs warm-base batched execution, bit-identity asserted.
+
+    Both sweep shapes from ``bench_hotpath.py``: seven lanes sharing one
+    base (``llbpx`` flavor -- the recording amortises over the group, so
+    warm mostly saves the one record pass) and seven distinct-base TSL
+    presets (``tsl`` flavor -- cold demotes every singleton to
+    reference, warm replays each tail-only; this is the shape the
+    persistent store exists for).  The result cache is cold in every
+    pass: the delta is pure base-stream work.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_hotpath import TSL_SWEEP_PRESETS
+
+    section = {}
+    shared_cells = [(workloads[0], "tsl_64k", {})] + [
+        (workloads[0], "llbpx_0lat", {"num_contexts": contexts, "store_assoc": 64})
+        for contexts in (1024, 2048, 4096, 8192, 14336, 32768)
+    ]
+    distinct_cells = [(workloads[0], name, {}) for name in TSL_SWEEP_PRESETS]
+    for shape, cells in (("shared_base", shared_cells), ("distinct_bases", distinct_cells)):
+        bases = []
+        for _, name, _ in cells:
+            base = base_config_of(name, config.scale)
+            if base is not None and base not in bases:
+                bases.append(base)
+        seconds = {}
+        results = {}
+        with tempfile.TemporaryDirectory(prefix="repro-bench-base-") as artifact_dir:
+            for mode in ("cold", "warm"):
+                clear_trace_cache()
+                store = ArtifactStore(artifact_dir)
+                runner = Runner(config, backend="batched", artifacts=store)
+                runner.bundle(workloads[0])  # untimed, same for both modes
+                start = time.perf_counter()
+                results[mode] = runner.run_cells(cells, release_bundles=False)
+                seconds[mode] = time.perf_counter() - start
+                if mode == "cold":
+                    # untimed top-up for lanes that fell back to reference
+                    store.warm_bases([workloads[0]], config, bases)
+                else:
+                    assert store.base_writes == 0, "warm pass re-recorded a stream"
+                    assert store.base_loads >= 1, "warm pass loaded nothing"
+        assert results["cold"] == results["warm"], (
+            f"{shape}: warm-base replay diverged from cold-base execution"
+        )
+        speedup = seconds["cold"] / seconds["warm"]
+        section[shape] = {
+            "lanes": len(cells),
+            "cold_seconds": round(seconds["cold"], 3),
+            "warm_seconds": round(seconds["warm"], 3),
+            "warm_speedup": round(speedup, 3),
+        }
+        print(
+            f"base_streams/{shape}: cold {seconds['cold']:.2f}s -> "
+            f"warm {seconds['warm']:.2f}s (x{speedup:.2f}, bit-identical)"
+        )
+    return section
+
+
 def _coop_bench_host(config, cache_dir, host_id, workloads, configs, queue):
     """One cooperating host process: join the shared store, drain, report."""
     clear_trace_cache()
@@ -373,6 +440,7 @@ def main(argv=None) -> int:
     cache_stats = bench_cache(config, workloads, configs)
     artifact_stats = bench_artifacts(config, workloads, configs)
     backend_stats = bench_backends(config, workloads, configs)
+    base_stream_stats = bench_base_streams(config, workloads, configs)
     distributed_stats = bench_distributed(config, workloads, configs)
 
     payload = {
@@ -393,6 +461,7 @@ def main(argv=None) -> int:
         "cache": cache_stats,
         "artifacts": artifact_stats,
         "backends": backend_stats,
+        "base_streams": base_stream_stats,
         "distributed": distributed_stats,
         "notes": (
             "speedup_vs_jobs1 is bounded by machine.cpu_count; on a >=4-core "
@@ -409,6 +478,13 @@ def main(argv=None) -> int:
             "on the matrix and on a 7-lane Fig-16 capacity sweep, with "
             "results asserted bit-identical. batched gains scale with lane "
             "count and base-config share of lane cost, not with core count. "
+            "base_streams compares cold-base vs warm-base batched passes "
+            "over one artifact store with a cold result cache (every cell "
+            "simulates; the warm pass records zero streams). shared_base is "
+            "the 7-lane one-base sweep, where warm only saves the single "
+            "record pass; distinct_bases is seven TSL presets, each its own "
+            "base, where cold demotes every singleton to reference and warm "
+            "replays each tail-only -- the persistent store's target shape. "
             "distributed compares 1 vs 2 cooperating host processes draining "
             "one cold shared store via ledger claims (zero duplicate "
             "simulations and bit-identity asserted); on a single-core "

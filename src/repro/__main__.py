@@ -22,8 +22,9 @@ task per (workload, config) cell (bit-identical results); ``--cache-dir``
 persists every result so repeat invocations -- and other figures sharing
 cells -- skip simulation.  ``--artifact-dir`` persists trace artifacts so
 warm bundles memory-map from disk instead of regenerating (parallel
-workers share the store); ``--warm-artifacts`` pre-builds every
-workload's bundle up front.
+workers share the store) and shared-base streams replay tail-only
+instead of re-simulating the base; ``--warm-artifacts`` pre-builds every
+workload's bundle and the requested configs' base streams up front.
 ``--profile`` wraps the whole command in :mod:`cProfile` and prints the
 top functions by cumulative time to stderr (``--profile-top`` controls
 how many) -- the standard first step when chasing a hot-path regression.
@@ -109,6 +110,20 @@ def _make_runner(args: argparse.Namespace) -> Runner:
             built,
             len(WORKLOAD_NAMES) - built,
         )
+        from repro.core.batched import base_config
+
+        bases = []
+        for name in getattr(args, "config", None) or ["tsl_64k"]:
+            base = base_config(name, runner.config.scale)
+            if base is not None and base not in bases:
+                bases.append(base)
+        base_built, base_skipped = artifacts.warm_bases(WORKLOAD_NAMES, runner.config, bases)
+        logger.info(
+            "artifacts: warmed base streams for %d base configs (%d built, %d skipped)",
+            len(bases),
+            base_built,
+            base_skipped,
+        )
     if getattr(args, "join", False):
         from repro.core.sched import HOSTS_DIRNAME, CoopScheduler, HostLedger
 
@@ -159,13 +174,18 @@ def _print_cache_stats(runner: Runner) -> None:
             stats["bundle_writes"],
             runner.bundle_builds,
         )
+        logger.info(
+            "base streams: %d recorded, %d loaded",
+            stats["base_writes"],
+            stats["base_loads"],
+        )
 
 
 def _publish_run_gauges(runner: Runner) -> None:
     """Mirror the run report's totals into metrics-registry gauges."""
     registry = obs.registry()
     totals = runner.report.totals()
-    for key in ("cells", "cached", "simulated", "attempts", "retries", "interruptions", "failures", "seconds", "batched_groups", "batched_lanes"):
+    for key in ("cells", "cached", "simulated", "attempts", "retries", "interruptions", "failures", "seconds", "batched_groups", "batched_lanes", "base_warm"):
         registry.gauge("run.%s" % key).set(float(totals[key]))
     registry.gauge("run.pool_rebuilds").set(float(runner.report.pool_rebuilds))
     registry.gauge("run.timeouts").set(float(runner.report.timeouts))
@@ -354,7 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--warm-artifacts", action="store_true",
         help="with --artifact-dir: pre-build the bundle of every known workload "
-        "before running, so the run itself performs zero trace generations",
+        "and pre-record the base streams of the requested configs before "
+        "running, so the run itself performs zero trace generations and "
+        "zero shared-base passes",
     )
     common.add_argument(
         "--join", action="store_true",

@@ -23,6 +23,16 @@ content is deterministic, last writer wins whole files); ``meta.json`` is
 written last and marks a bundle complete, so readers never observe a
 partial bundle.  Bumping ``GENERATOR_VERSION`` changes every digest,
 invalidating the store with no manual cleanup.
+
+The store also persists **shared-base streams**: the packed ``uint64``
+recording a :class:`~repro.tage.batched_state.SharedBase` produces over a
+bundle.  A stream is a pure function of (bundle, canonical base
+``TageConfig``, packed-word layout), so it lives *inside* the bundle's
+digest directory as ``base_<digest16>.npy`` where the digest covers the
+base config and ``BASE_STREAM_VERSION`` -- bundle invalidation implies
+base invalidation, and a layout bump invalidates every stored stream.
+Streams load ``mmap_mode="r"``; torn files are quarantined (renamed
+``*.corrupt``) so the next miss re-records cleanly.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from repro.core.faults import stale_temp
 from repro.core.results_io import cache_digest
 from repro.obs.metrics import registry as obs_registry
 from repro.llbp.rcr import ContextStreams
+from repro.tage.batched_state import BASE_STREAM_DTYPE, BASE_STREAM_VERSION
 from repro.tage.streams import TraceTensors
 from repro.traces.generator import GENERATOR_VERSION
 from repro.traces.record import COLUMN_DTYPES, Trace
@@ -131,6 +142,8 @@ class ArtifactStore:
         self.bundle_writes = 0
         self.derived_loads = 0
         self.derived_writes = 0
+        self.base_loads = 0
+        self.base_writes = 0
         self.quarantined = 0
         self.temps_swept = 0
         self._sweep_temps()
@@ -292,7 +305,113 @@ class ArtifactStore:
             handle.store_context_hashes(depth, hashes)
         return handle
 
+    # -- base streams ------------------------------------------------------
+
+    def base_stream_name(self, base_config: object) -> str:
+        """Stable filename for a base stream inside a bundle directory.
+
+        The digest covers the canonical base config and
+        ``BASE_STREAM_VERSION`` -- bumping the packed-word layout
+        invalidates every persisted stream with no manual cleanup.  The
+        bundle digest (the directory) covers everything trace-side.
+        """
+        digest = cache_digest(
+            {
+                "base_config": {str(k): repr(v) for k, v in sorted(asdict(base_config).items())},
+                "base_stream_version": BASE_STREAM_VERSION,
+            }
+        )
+        return f"base_{digest[:16]}.npy"
+
+    def base_stream_path(self, workload: str, config: object, base_config: object) -> Path:
+        directory = self.bundle_dir(self.bundle_digest(workload, config))
+        return directory / self.base_stream_name(base_config)
+
+    def has_base_stream(self, workload: str, config: object, base_config: object) -> bool:
+        return self.base_stream_path(workload, config, base_config).is_file()
+
+    def load_base_stream(
+        self,
+        workload: str,
+        config: object,
+        base_config: object,
+        expected_length: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """Memory-map a persisted base stream, or ``None`` on a miss.
+
+        Torn or wrong-length files are quarantined (renamed
+        ``*.corrupt``) so the caller's miss path re-records and rewrites
+        a clean stream over the same name.
+        """
+        path = self.base_stream_path(workload, config, base_config)
+        try:
+            packed = np.load(path, mmap_mode="r")
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            self._quarantine_base(path)
+            return None
+        if (
+            packed.ndim != 1
+            or packed.dtype != BASE_STREAM_DTYPE
+            or (expected_length is not None and len(packed) != expected_length)
+        ):
+            self._quarantine_base(path)
+            return None
+        self.base_loads += 1
+        return packed
+
+    def save_base_stream(
+        self, workload: str, config: object, base_config: object, packed: np.ndarray
+    ) -> Path:
+        """Persist a freshly recorded stream (atomic temp + rename)."""
+        path = self.base_stream_path(workload, config, base_config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_save(path, np.asarray(packed, dtype=BASE_STREAM_DTYPE))
+        self.base_writes += 1
+        return path
+
+    def _quarantine_base(self, path: Path) -> None:
+        """Rename a damaged base stream out of the way (miss => re-record)."""
+        try:
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+        except OSError:  # pragma: no cover - raced unlink/rename
+            return
+        self.quarantined += 1
+
     # -- warming ----------------------------------------------------------
+
+    def warm_bases(
+        self, workloads: Iterable[str], config: object, base_configs: Iterable[object]
+    ) -> Tuple[int, int]:
+        """Pre-record base streams for every (workload, base config) pair.
+
+        Returns ``(built, skipped)`` -- pairs whose stream already exists
+        (or whose config is not batchable) are skipped.  Recording goes
+        through the same :class:`SharedBase` pass the batched backend
+        runs, so a later run adopts these streams bit-identically.
+        """
+        from repro.core.runner import Runner
+        from repro.tage.batched_state import SharedBase, batchable_config
+
+        base_configs = list(base_configs)
+        built = 0
+        skipped = 0
+        runner = Runner(config, artifacts=self)
+        for workload in workloads:
+            for base_cfg in base_configs:
+                if not batchable_config(base_cfg) or self.has_base_stream(
+                    workload, config, base_cfg
+                ):
+                    skipped += 1
+                    continue
+                bundle = runner.bundle(workload)
+                shared = SharedBase(base_cfg, bundle.tensors)
+                shared.record(bundle.trace, bundle.tensors)
+                self.save_base_stream(workload, config, base_cfg, shared.packed_stream())
+                built += 1
+            runner.release(workload)
+        return built, skipped
 
     def warm(self, workloads: Iterable[str], config: object) -> int:
         """Ensure a bundle exists for every workload; returns #built.
@@ -342,6 +461,8 @@ class ArtifactStore:
             "bundle_writes": self.bundle_writes,
             "derived_loads": self.derived_loads,
             "derived_writes": self.derived_writes,
+            "base_loads": self.base_loads,
+            "base_writes": self.base_writes,
             "quarantined": self.quarantined,
             "temps_swept": self.temps_swept,
         }

@@ -8,6 +8,10 @@ LLBP-X lanes, or a ``tsl_64k``/``llbp``/``llbpx`` column -- are executed
 as one *group*.  The group pays the shared TAGE+loop base exactly once
 (recording its per-branch outputs), then runs each lane as a replay tail
 over only that lane's divergent state (SC, pattern store/buffer, CTT).
+With an :class:`~repro.core.artifacts.ArtifactStore` attached the
+recording is persisted and the base is paid once *ever* per (bundle,
+base config): later runs -- and peer ``--join`` hosts -- adopt the
+stored stream and run tail-only, including warm singletons.
 
 Why record/replay rather than the numpy-stacked lane state the ROADMAP
 sketched: at realistic lane counts (2-8) the per-branch cost of even one
@@ -30,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.llbp.batched_state import build_llbp_tail
 from repro.obs.metrics import registry as obs_registry
@@ -84,13 +88,22 @@ class BatchPlan:
         return sum(len(group) for group in self.groups)
 
 
-def plan_batches(cells: Sequence["Cell"], scale: int, min_lanes: int = 2) -> BatchPlan:
+def plan_batches(
+    cells: Sequence["Cell"],
+    scale: int,
+    min_lanes: int = 2,
+    base_warm: Optional[Callable[[str, TageConfig], bool]] = None,
+) -> BatchPlan:
     """Group one workload's cells by shared base configuration.
 
     ``min_lanes`` is the smallest group worth batching: ``auto`` uses 2
-    (a singleton gains nothing over reference), forcing ``batched`` uses
-    1 so even lone cells exercise the batched engine.  Order inside a
-    group and among singles follows first appearance.
+    (a *cold* singleton gains nothing over reference), forcing
+    ``batched`` uses 1 so even lone cells exercise the batched engine.
+    ``base_warm(workload, base_config)`` relaxes the floor per group: a
+    singleton whose base stream is already persisted runs tail-only --
+    replaying a loaded stream beats re-simulating the base, so the warm
+    path batches it regardless of ``min_lanes``.  Order inside a group
+    and among singles follows first appearance.
     """
     by_base: Dict[TageConfig, List["Cell"]] = {}
     singles: List["Cell"] = []
@@ -103,8 +116,10 @@ def plan_batches(cells: Sequence["Cell"], scale: int, min_lanes: int = 2) -> Bat
         else:
             by_base.setdefault(config, []).append(cell)
     groups: List[List["Cell"]] = []
-    for grouped in by_base.values():
-        if len(grouped) >= min_lanes:
+    for config, grouped in by_base.items():
+        if len(grouped) >= min_lanes or (
+            base_warm is not None and base_warm(grouped[0][0], config)
+        ):
             groups.append(grouped)
         else:
             singles.extend(grouped)
@@ -125,6 +140,9 @@ class LaneOutcome:
     result: SimulationResult
     seconds: float
     backend: str = "batched"
+    #: whether the group's base stream was adopted from the artifact
+    #: store (tail-only replay) instead of freshly recorded
+    base_warm: bool = False
     #: the lane's predictor instance (full final table state, for
     #: equivalence tests); dropped before results cross process borders
     predictor: Optional[object] = None
@@ -134,11 +152,17 @@ def run_group(runner: "Runner", workload: str, cells: Sequence["Cell"]) -> List[
     """Execute one batched group: shared base once, then each lane's tail.
 
     Every cell must share ``base_config`` (callers use
-    :func:`plan_batches`).  Per-lane results -- counts, stats, extra,
-    and final predictor table state -- are bit-identical to the
-    reference backend.  Span names ``cell``/``simulate`` match the
-    reference path (with a ``backend`` attribute) so observability
-    tooling sees one tree shape regardless of backend.
+    :func:`plan_batches`).  When the runner has an artifact store and it
+    holds this (bundle, base config) stream, the base pass is skipped
+    entirely -- the stream is adopted ``mmap``-backed and only the lane
+    tails run; a freshly recorded stream is persisted for every later
+    run.  Per-lane *results* -- counts, stats, extra -- are bit-identical
+    to the reference backend either way; final predictor *table state*
+    matches only on the record path (an adopted base leaves the shared
+    core/loop untrained, which tails never read).  Span names
+    ``cell``/``simulate`` match the reference path (with a ``backend``
+    attribute) so observability tooling sees one tree shape regardless
+    of backend.
     """
     cells = list(cells)
     config = base_config(cells[0][1], runner.config.scale)
@@ -150,8 +174,23 @@ def run_group(runner: "Runner", workload: str, cells: Sequence["Cell"]) -> List[
         group_start = time.perf_counter()
         bundle = runner.bundle(workload)
         shared = SharedBase(config, bundle.tensors)
-        with span("backend.batched.base", workload=workload, base=config.name):
-            shared.record(bundle.trace, bundle.tensors)
+        artifacts = runner.artifacts
+        packed = None
+        if artifacts is not None:
+            packed = artifacts.load_base_stream(
+                workload, runner.config, config, expected_length=len(bundle.trace)
+            )
+        if packed is not None:
+            with span("backend.base", workload=workload, base=config.name, mode="load"):
+                shared.adopt_stream(packed)
+            registry.counter("backend.base_loads").inc()
+        else:
+            with span("backend.base", workload=workload, base=config.name, mode="record"):
+                shared.record(bundle.trace, bundle.tensors)
+            registry.counter("backend.base_records").inc()
+            if artifacts is not None:
+                artifacts.save_base_stream(workload, runner.config, config, shared.packed_stream())
+        registry.counter("backend.base_bytes").inc(shared.footprint_bytes())
         base_seconds = time.perf_counter() - group_start
         base_share = base_seconds / len(cells)
         registry.counter("backend.batched.groups").inc()
@@ -188,6 +227,12 @@ def run_group(runner: "Runner", workload: str, cells: Sequence["Cell"]) -> List[
                 registry.counter("runner.branches").inc(runner.config.num_branches)
                 registry.histogram("cell.seconds").observe(elapsed)
                 outcomes.append(
-                    LaneOutcome(cell=cell, result=result, seconds=elapsed, predictor=predictor)
+                    LaneOutcome(
+                        cell=cell,
+                        result=result,
+                        seconds=elapsed,
+                        base_warm=shared.adopted,
+                        predictor=predictor,
+                    )
                 )
     return outcomes

@@ -65,6 +65,11 @@ CONFIG_WEIGHTS: Tuple[Tuple[str, float], ...] = (
 #: units as observed timings
 _SECONDS_PER_BRANCH = 1e-5
 
+#: timing/observation key of a batched lane replaying a *persisted* base
+#: stream (tail-only, no base pass) -- the warm flag rides inside the
+#: backend string so :class:`TimingStore` signatures stay untouched
+BASE_WARM_BACKEND = "batched+warm"
+
 #: regression feature names, in design-matrix column order
 FEATURE_NAMES: Tuple[str, ...] = (
     "intercept",
@@ -72,6 +77,7 @@ FEATURE_NAMES: Tuple[str, ...] = (
     "log_weight",
     "log_capacity_kb",
     "batched",
+    "base_warm",
     "cond_share",
     "h2p_density",
     "context_diversity",
@@ -120,7 +126,9 @@ def feature_vector(workload: str, name: str, backend: str, branches: int) -> Lis
         math.log(max(1, branches)),
         math.log(config_weight(name)),
         math.log(config_capacity_kb(name)),
-        1.0 if backend == BACKEND_BATCHED else 0.0,
+        # "batched+warm" is a batched execution too (startswith covers it)
+        1.0 if backend.startswith(BACKEND_BATCHED) else 0.0,
+        1.0 if backend == BASE_WARM_BACKEND else 0.0,
         profile["cond_share"],
         profile["h2p_density"],
         profile["context_diversity"],
@@ -175,19 +183,28 @@ class CostModel:
         """Expected seconds of one cell under ``backend``.
 
         Observed timings are backend-keyed (a batched lane's attributable
-        cost differs systematically from a reference execution); a
-        batched cell with no batched history borrows the reference
-        observation -- an overestimate, which only makes the scheduler
-        start the group earlier -- before falling back to the static
-        estimate.
+        cost differs systematically from a reference execution, and a
+        warm tail-only replay from both); lookups fall back along
+        ``batched+warm -> batched -> reference`` -- each step an
+        overestimate, which only makes the scheduler start the work
+        earlier -- before the static estimate.
         """
         if self.timings is not None:
-            observed = self.timings.get(workload, name, backend)
-            if observed is None and backend != BACKEND_REFERENCE:
-                observed = self.timings.get(workload, name)
+            observed = self._observed(workload, name, backend)
             if observed is not None:
                 return observed
         return self.static_estimate(name, num_branches)
+
+    def _observed(self, workload: str, name: str, backend: str) -> Optional[float]:
+        """Backend-keyed EMA lookup with the warm->batched->reference chain."""
+        if self.timings is None:
+            return None
+        observed = self.timings.get(workload, name, backend)
+        if observed is None and backend == BASE_WARM_BACKEND:
+            observed = self.timings.get(workload, name, BACKEND_BATCHED)
+        if observed is None and backend != BACKEND_REFERENCE:
+            observed = self.timings.get(workload, name)
+        return observed
 
     def observe(
         self,
@@ -319,9 +336,7 @@ class LearnedCostModel(CostModel):
         self, workload: str, name: str, num_branches: int, backend: str = BACKEND_REFERENCE
     ) -> float:
         if self.timings is not None:
-            observed = self.timings.get(workload, name, backend)
-            if observed is None and backend != BACKEND_REFERENCE:
-                observed = self.timings.get(workload, name)
+            observed = self._observed(workload, name, backend)
             if observed is not None:
                 return observed
         self._ensure_model()

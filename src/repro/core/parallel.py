@@ -62,9 +62,10 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.costmodel import (  # noqa: F401  (re-exported for compat)
+    BASE_WARM_BACKEND,
     CONFIG_WEIGHTS,
     _SECONDS_PER_BRANCH,
     CostModel,
@@ -237,11 +238,15 @@ class _Task:
     ``backend`` decides the worker entry: ``batched`` tasks run their
     cells (all one workload, sharing a base TageConfig) through
     :func:`repro.core.batched.run_group`; ``reference`` tasks are always
-    singletons and run through :func:`simulate_cell`.
+    singletons and run through :func:`simulate_cell`.  ``base_warm`` is
+    the planner's prediction that the group's base stream is persisted
+    (tail-only replay) -- it sharpens the cost estimate; the worker
+    reports the actual warmth per lane.
     """
 
     cells: Tuple[Cell, ...]
     backend: str = BACKEND_REFERENCE
+    base_warm: bool = False
 
     @property
     def workload(self) -> str:
@@ -260,15 +265,17 @@ def simulate_task(
     artifact_dir: Optional[str] = None,
     in_worker: bool = True,
     telemetry: Optional[TelemetryConfig] = None,
-) -> List[Tuple[Cell, SimulationResult, float]]:
-    """Worker entry point: execute one task; returns per-cell triples.
+) -> List[Tuple[Cell, SimulationResult, float, bool]]:
+    """Worker entry point: execute one task; returns per-cell records.
 
-    ``(cell, result, seconds)`` per member, where a batched lane's
-    seconds are its tail plus an equal share of the group's shared base
-    (the cost the scheduler should learn under the ``batched`` key).
-    The fault injector consults *every* member, so a fault spec
-    targeting any lane of a group fires exactly as it would have on
-    that cell's standalone execution.
+    ``(cell, result, seconds, base_warm)`` per member, where a batched
+    lane's seconds are its tail plus an equal share of the group's
+    shared base (the cost the scheduler should learn under the
+    ``batched`` -- or, when the base stream was adopted from the
+    artifact store, ``batched+warm`` -- key).  The fault injector
+    consults *every* member, so a fault spec targeting any lane of a
+    group fires exactly as it would have on that cell's standalone
+    execution.
     """
     injector = active_injector()
     if injector is not None:
@@ -278,17 +285,19 @@ def simulate_task(
         obs_ensure(telemetry[0], sample_interval=telemetry[1])
     runner = _worker_runner(config, artifact_dir)
     workload = cells[0][0]
-    out: List[Tuple[Cell, SimulationResult, float]] = []
+    out: List[Tuple[Cell, SimulationResult, float, bool]] = []
     if backend == BACKEND_BATCHED and len(cells) >= 1:
         from repro.core.batched import run_group
 
         for outcome in run_group(runner, workload, [(w, n, dict(o)) for w, n, o in cells]):
-            out.append((outcome.cell, outcome.result, outcome.seconds))
+            out.append((outcome.cell, outcome.result, outcome.seconds, outcome.base_warm))
     else:
         for w, name, overrides in cells:
             start = time.perf_counter()
             result = runner.run_one(w, name, use_cache=False, **dict(overrides))
-            out.append(((w, name, dict(overrides)), result, time.perf_counter() - start))
+            out.append(
+                ((w, name, dict(overrides)), result, time.perf_counter() - start, False)
+            )
     if telemetry is not None and in_worker:
         obs_flush()
     _trim_worker_bundles(runner, workload, config)
@@ -322,18 +331,26 @@ def effective_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def plan_tasks(cells: Sequence[Cell], config: "RunnerConfig", backend: str) -> List[_Task]:
+def plan_tasks(
+    cells: Sequence[Cell],
+    config: "RunnerConfig",
+    backend: str,
+    base_warm: Optional[Callable[[str, object], bool]] = None,
+) -> List[_Task]:
     """Partition cells into schedulable tasks for ``backend``.
 
     ``reference`` keeps the cell-granular schedule (one task per cell).
     ``auto``/``batched`` group each workload's cells sharing a batchable
     base TageConfig into one batched task (``auto`` only when at least
-    two cells share; forcing ``batched`` batches even singletons);
-    everything else stays a reference singleton, with structurally
-    non-batchable cells counted on ``backend.fallbacks``.
+    two cells share -- or the ``base_warm(workload, base_config)``
+    predicate says a singleton's base stream is persisted, making
+    tail-only replay worthwhile); everything else stays a reference
+    singleton, with structurally non-batchable cells counted on
+    ``backend.fallbacks``.
     """
     if backend == BACKEND_REFERENCE:
         return [_Task(cells=(cell,)) for cell in cells]
+    from repro.core.batched import base_config as base_config_of
     from repro.core.batched import plan_batches
 
     by_workload: Dict[str, List[Cell]] = {}
@@ -346,10 +363,15 @@ def plan_tasks(cells: Sequence[Cell], config: "RunnerConfig", backend: str) -> L
             workload_cells,
             config.scale,
             min_lanes=1 if backend == BACKEND_BATCHED else 2,
+            base_warm=base_warm,
         )
         fallbacks += plan.fallbacks
         for group in plan.groups:
-            tasks.append(_Task(cells=tuple(group), backend=BACKEND_BATCHED))
+            warm = False
+            if base_warm is not None:
+                base_cfg = base_config_of(group[0][1], config.scale)
+                warm = base_cfg is not None and base_warm(group[0][0], base_cfg)
+            tasks.append(_Task(cells=tuple(group), backend=BACKEND_BATCHED, base_warm=warm))
         for cell in plan.singles:
             tasks.append(_Task(cells=(cell,)))
     if fallbacks:
@@ -367,6 +389,7 @@ def run_cells_parallel(
     report=None,
     telemetry: Optional[TelemetryConfig] = None,
     backend: str = BACKEND_REFERENCE,
+    base_warm: Optional[Callable[[str, object], bool]] = None,
 ) -> Iterator[Tuple[Cell, SimulationResult]]:
     """Fan cells out over ``jobs`` processes, longest-expected-first.
 
@@ -414,15 +437,21 @@ def run_cells_parallel(
     #: cells can be scored predicted-vs-actual in the run report
     predictions: Dict[Tuple[str, str, str], float] = {}
 
+    def task_key(task: _Task) -> str:
+        """Timing/estimate backend key (warm replay costs systematically less)."""
+        return BASE_WARM_BACKEND if task.base_warm else task.backend
+
     def task_estimate(task: _Task) -> float:
         total = 0.0
         for workload, name, _ in task.cells:
-            estimate = model.estimate(workload, name, config.num_branches, task.backend)
+            estimate = model.estimate(workload, name, config.num_branches, task_key(task))
             predictions[(workload, name, task.backend)] = estimate
             total += estimate
         return total
 
-    ordered: List[_Task] = sorted(plan_tasks(cells, config, backend), key=task_estimate, reverse=True)
+    ordered: List[_Task] = sorted(
+        plan_tasks(cells, config, backend, base_warm=base_warm), key=task_estimate, reverse=True
+    )
     if report is not None:
         report.cost_model_kind = getattr(model, "kind", "heuristic")
     # the *pool* is bounded by real cores even when the caller asked for
@@ -476,15 +505,19 @@ def run_cells_parallel(
                 report.record_interruption(workload, name, overrides)
         pending.append((index, 0.0))
 
-    def succeed(index: int, triples) -> Iterator[Tuple[Cell, SimulationResult]]:
+    def succeed(index: int, records) -> Iterator[Tuple[Cell, SimulationResult]]:
         """Book one completed task: timings, report records, results."""
         task = ordered[index]
         if task.backend == BACKEND_BATCHED and report is not None:
             report.record_batched_group(len(task.cells))
-        for (workload, name, overrides), result, seconds in triples:
-            model.observe(workload, name, seconds, task.backend, branches=config.num_branches)
+        for (workload, name, overrides), result, seconds, lane_warm in records:
+            # the worker's actual warmth wins over the planner's guess
+            observe_key = BASE_WARM_BACKEND if lane_warm else task.backend
+            model.observe(workload, name, seconds, observe_key, branches=config.num_branches)
             if report is not None:
-                report.record_success(workload, name, overrides, seconds, backend=task.backend)
+                report.record_success(
+                    workload, name, overrides, seconds, backend=task.backend, base_warm=lane_warm
+                )
                 predicted = predictions.get((workload, name, task.backend))
                 if predicted is not None:
                     report.record_prediction(predicted, seconds)
@@ -536,7 +569,7 @@ def run_cells_parallel(
                     for workload, name, overrides in task.cells:
                         report.record_attempt(workload, name, overrides)
                 try:
-                    triples = simulate_task(
+                    records = simulate_task(
                         config,
                         list(task.cells),
                         task.backend,
@@ -547,7 +580,7 @@ def run_cells_parallel(
                 except Exception as exc:
                     charge(index, "exception", repr(exc))
                     continue
-                for pair in succeed(index, triples):
+                for pair in succeed(index, records):
                     yield pair
                 continue
 
@@ -618,7 +651,7 @@ def run_cells_parallel(
             for future in done:
                 index, _ = inflight.pop(future)
                 try:
-                    triples = future.result()
+                    records = future.result()
                 except BrokenProcessPool as exc:
                     # every in-flight future of a broken pool raises this;
                     # charge this one now, handle_break charges the rest
@@ -628,7 +661,7 @@ def run_cells_parallel(
                     charge(index, "exception", repr(exc))
                 else:
                     consecutive_breaks = 0
-                    for pair in succeed(index, triples):
+                    for pair in succeed(index, records):
                         yield pair
             if broke is not None:
                 handle_break(broke)

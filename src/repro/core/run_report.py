@@ -47,6 +47,8 @@ class CellReport:
     overrides: str = ""
     source: str = ""  # "cached" | "simulated" | "" (never resolved)
     backend: str = ""  # "reference" | "batched" | "" (cached / never resolved)
+    #: batched lane that adopted a persisted base stream (tail-only replay)
+    base_warm: bool = False
     attempts: int = 0
     retries: int = 0
     interruptions: int = 0
@@ -60,6 +62,7 @@ class CellReport:
             "overrides": self.overrides,
             "source": self.source,
             "backend": self.backend,
+            "base_warm": self.base_warm,
             "attempts": self.attempts,
             "retries": self.retries,
             "interruptions": self.interruptions,
@@ -159,10 +162,12 @@ class RunReport:
         overrides: Optional[Mapping[str, object]],
         seconds: float,
         backend: str = "reference",
+        base_warm: bool = False,
     ) -> None:
         entry = self.cell(workload, config, overrides)
         entry.source = "simulated"
         entry.backend = backend
+        entry.base_warm = base_warm
         entry.seconds += seconds
         emit_event(
             "cell-success", workload=workload, config=config, seconds=seconds, backend=backend
@@ -236,6 +241,7 @@ class RunReport:
             "seconds": sum(entry.seconds for entry in cells),
             "batched_groups": len(self.batched_group_sizes),
             "batched_lanes": sum(self.batched_group_sizes),
+            "base_warm": sum(1 for entry in cells if entry.base_warm),
         }
 
     # -- serialisation ------------------------------------------------------
@@ -288,7 +294,8 @@ class RunReport:
             f"timeouts={self.timeouts} pool_rebuilds={self.pool_rebuilds} "
             f"serial_fallback={'yes' if self.serial_fallback else 'no'} "
             f"batched_groups={len(sizes)} batched_lanes={sum(sizes)} "
-            f"max_group_lanes={max(sizes) if sizes else 0}"
+            f"max_group_lanes={max(sizes) if sizes else 0} "
+            f"base_warm={totals['base_warm']}"
         )
         stats = self.prediction_stats()
         if stats["mape_percent"] is not None:

@@ -191,6 +191,16 @@ class Runner:
             self._bundles[key] = bundle
             return bundle
 
+    def base_stream_warm(self, workload: str, base_cfg: TageConfig) -> bool:
+        """Whether a persisted base stream exists for (workload, base).
+
+        The warm predicate :func:`repro.core.batched.plan_batches` uses
+        to admit singleton groups -- a cheap ``is_file`` probe, no load.
+        """
+        return self.artifacts is not None and self.artifacts.has_base_stream(
+            workload, self.config, base_cfg
+        )
+
     def release(self, workload: str, results: bool = False) -> None:
         """Drop the cached trace/tensors of a workload (bounds memory).
 
@@ -462,6 +472,7 @@ class Runner:
                     report=self.report,
                     telemetry=obs_worker_config(),
                     backend=resolved,
+                    base_warm=self.base_stream_warm,
                 ):
                     self.sim_count += 1
                     finish(result_key(workload, name, overrides), result)
@@ -479,11 +490,13 @@ class Runner:
                     singles = [cell_of[key] for key in keys]
                     if resolved != BACKEND_REFERENCE:
                         from repro.core.batched import plan_batches, run_group
+                        from repro.core.costmodel import BASE_WARM_BACKEND
 
                         plan = plan_batches(
                             singles,
                             self.config.scale,
                             min_lanes=1 if resolved == BACKEND_BATCHED else 2,
+                            base_warm=self.base_stream_warm,
                         )
                         singles = plan.singles
                         if plan.fallbacks:
@@ -494,14 +507,25 @@ class Runner:
                             self.report.record_batched_group(len(group))
                             for outcome in run_group(self, workload, group):
                                 cell_w, name, overrides = outcome.cell
+                                # warm lanes observe under their own
+                                # backend key: tail-only replay has a
+                                # different cost profile than record+tail
+                                backend_key = (
+                                    BASE_WARM_BACKEND if outcome.base_warm else "batched"
+                                )
                                 self.report.record_success(
-                                    cell_w, name, overrides, outcome.seconds, backend="batched"
+                                    cell_w,
+                                    name,
+                                    overrides,
+                                    outcome.seconds,
+                                    backend="batched",
+                                    base_warm=outcome.base_warm,
                                 )
                                 self.timing_store().observe(
                                     workload,
                                     name,
                                     outcome.seconds,
-                                    backend="batched",
+                                    backend=backend_key,
                                     branches=self.config.num_branches,
                                 )
                                 finish(result_key(cell_w, name, overrides), outcome.result)

@@ -16,7 +16,11 @@ proved (:mod:`repro.core.faults`):
   backend-aware pipeline (:meth:`Runner.run_cells` -- parallel pool,
   batched groups, retries, artifact store, all of it) and the result
   reaches the shared cache *before* the claim is released, so peers
-  never observe a completed cell as both unclaimed and uncached.
+  never observe a completed cell as both unclaimed and uncached.  With
+  a shared artifact store attached, the same ordering covers base
+  streams: a batched group persists its freshly recorded shared-base
+  stream during ``run_cells``, i.e. before its claims release -- one
+  host's recording is every peer's warm (tail-only) start.
 * **Reap** -- every host maintains a heartbeat file (mtime refresh).  A
   claim is stale -- and reaped, making its cell claimable again -- iff
   its owner is provably dead: same-machine owners are probed directly
@@ -309,13 +313,36 @@ def drain_cooperative(
         if reaped:
             report.record_reap(reaped)
 
-        # 3. claim a batch, insertion (= predicted-cost) order
+        # 3. claim a batch: the anchor in insertion (= predicted-cost)
+        # order, then prefer peers of the anchor's (workload, shared
+        # base) -- cells this host will execute as one batched group
+        # over a single base pass / persisted base stream -- topping up
+        # in ranked order only when same-base peers run out
+        from repro.core.batched import base_config as base_config_of
+
         claimed: List[Tuple[str, Cell]] = []
+        batch_cap = max(1, coop.claim_batch)
+        anchor_key: Optional[Tuple[str, object]] = None
         for digest, cell in remaining.items():
-            if len(claimed) >= max(1, coop.claim_batch):
+            if len(claimed) >= batch_cap:
                 break
+            base = base_config_of(cell[1], runner.config.scale)
+            key = (cell[0], base) if base is not None else None
+            if claimed and (anchor_key is None or key != anchor_key):
+                continue
             if ledger.claim(digest):
                 claimed.append((digest, cell))
+                if len(claimed) == 1:
+                    anchor_key = key
+        if len(claimed) < batch_cap:
+            held = {digest for digest, _ in claimed}
+            for digest, cell in remaining.items():
+                if len(claimed) >= batch_cap:
+                    break
+                if digest in held:
+                    continue
+                if ledger.claim(digest):
+                    claimed.append((digest, cell))
         ledger.beat()
 
         if not claimed:

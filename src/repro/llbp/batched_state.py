@@ -4,7 +4,9 @@
 :meth:`repro.tage.batched_state.SharedBase.build_tsl_tail`: it rebuilds
 :meth:`repro.llbp.llbp.LLBP._build_step` with the TAGE-core lookup+train
 and the loop predictor read/train replaced by decoding the shared base's
-recorded word for the branch.  Everything downstream of the base --
+recorded word for the branch (freshly recorded or adopted from a
+persisted stream -- the tail cannot tell the difference).  Everything
+downstream of the base --
 context lookup, pattern buffer / store, arbitration, statistical
 corrector (with suppression), allocation, false-path modeling, stats --
 is per-lane state and runs verbatim, in the reference kernel's order.
@@ -43,7 +45,9 @@ def build_llbp_tail(llbp: "LLBP", shared: SharedBase) -> Callable[[int, int, boo
     predictor's ``step`` -- the default kernel would advance the shared
     core a second time.
     """
-    packed = shared.packed_stream()
+    # ndarray.item returns a plain Python int -- numpy scalars must not
+    # leak into pattern/context hashing, and plain-int bit ops are faster
+    packed_word = shared.packed_stream().item
     lengths = shared.config.history_lengths
 
     config = llbp.config
@@ -77,7 +81,7 @@ def build_llbp_tail(llbp: "LLBP", shared: SharedBase) -> Callable[[int, int, boo
 
     def tail(t: int, pc: int, taken: bool) -> bool:
         # -- decode the shared base's recorded outputs for this branch
-        word = packed[t]
+        word = packed_word(t)
         tsl_pred = (word & BASE_TSL_PRED) != 0
         loop_valid = (word & BASE_LOOP_VALID) != 0
         bim_pred = (word & BASE_BIM_PRED) != 0

@@ -188,6 +188,17 @@ def render_report(directory: Union[str, Path], top: int = 12) -> str:
         )
         if sizes:
             lines.append("  group sizes: %s" % ", ".join(str(s) for s in sizes))
+        base_records = counters.get("backend.base_records", 0)
+        base_loads = counters.get("backend.base_loads", 0)
+        if base_records or base_loads:
+            lines.append(
+                "  base streams: %d recorded, %d loaded (%s stream bytes)"
+                % (
+                    int(base_records),
+                    int(base_loads),
+                    _fmt_num(counters.get("backend.base_bytes", 0)),
+                )
+            )
 
     if "run.cost_mape_percent" in gauges:
         lines.append("")

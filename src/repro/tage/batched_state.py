@@ -22,15 +22,19 @@ recorded stream instead of re-simulating the base, running only the
 lane-divergent state machines (statistical corrector, pattern buffer /
 store, CTT).
 
-The recording is held as a numpy array between runs (compact, sharable)
-and exposed to the tail kernels as a plain Python list (fastest
-per-branch indexing, and plain ints never leak numpy scalar types into
-predictor hashing).
+The recording is held as a packed ``uint64`` numpy array end-to-end --
+compact (8 B/branch instead of ~28 B/branch of boxed Python ints),
+mmap-sharable, and persistable as-is by the
+:class:`~repro.core.artifacts.ArtifactStore` (the stream is a pure
+function of trace bundle + base config, so one recording serves every
+later run).  Tail kernels read it through ``ndarray.item`` so only plain
+Python ints enter the per-branch hot path -- numpy scalar types must
+never leak into predictor hashing.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -57,6 +61,14 @@ BASE_PROVIDER_SHIFT = 4
 BASE_PROVIDER_MASK = 0x3F
 BASE_CONF_SHIFT = 10
 
+#: version of the packed word layout above; part of every persisted
+#: base-stream key, so changing the layout invalidates stored streams
+#: with no manual cleanup (see :mod:`repro.core.artifacts`)
+BASE_STREAM_VERSION = 1
+
+#: on-disk / in-memory dtype of a packed base stream
+BASE_STREAM_DTYPE = np.uint64
+
 
 def batchable_config(config: TageConfig) -> bool:
     """Whether a TAGE configuration can anchor a shared base.
@@ -78,6 +90,14 @@ class SharedBase:
     :class:`~repro.tage.tsl.TageSCL`'s ``core=``/``loop=`` injection end
     the run with precisely the reference lane's table state, because the
     base inputs are lane-invariant.
+
+    :meth:`adopt_stream` is the warm path: a stream persisted by an
+    earlier run (same bundle, same base config -- the
+    :class:`~repro.core.artifacts.ArtifactStore` keys it so) is adopted
+    directly and the base pass is skipped entirely.  Lane *results*
+    (counts, stats, extra) are bit-identical either way -- the tails read
+    only the packed words -- though an adopted base leaves the shared
+    core/loop tables untrained, since nothing replays into them.
     """
 
     def __init__(self, config: TageConfig, tensors: TraceTensors) -> None:
@@ -87,7 +107,8 @@ class SharedBase:
         self.core = TageCore(config, tensors)
         self.loop = LoopPredictor(config.loop_entries) if config.use_loop else None
         self._packed: Optional[np.ndarray] = None
-        self._packed_list: Optional[List[int]] = None
+        #: whether the stream arrived via :meth:`adopt_stream` (warm)
+        self.adopted = False
 
     def record(self, trace, tensors: TraceTensors) -> None:
         """Advance the shared base over the whole trace, recording outputs.
@@ -135,20 +156,32 @@ class SharedBase:
                     | ((provider + 1) << BASE_PROVIDER_SHIFT)
                     | (conf << BASE_CONF_SHIFT)
                 )
-        self._packed_list = packed
-        self._packed = np.asarray(packed, dtype=np.int32)
+        # the transient plain-int list exists only within this call; the
+        # stream is held (and persisted) as a packed uint64 array
+        self._packed = np.asarray(packed, dtype=BASE_STREAM_DTYPE)
+
+    def adopt_stream(self, packed: np.ndarray) -> None:
+        """Adopt a previously persisted stream instead of recording one.
+
+        ``packed`` is typically an ``mmap_mode="r"`` array straight from
+        the artifact store; it is used as-is (no copy), so N processes
+        replaying the same stream share its page-cache pages.  The shared
+        core/loop stay untrained -- lane tails never read them.
+        """
+        if packed.ndim != 1:
+            raise ValueError(f"packed base stream must be 1-D, got shape {packed.shape}")
+        self._packed = packed if packed.dtype == BASE_STREAM_DTYPE else packed.astype(BASE_STREAM_DTYPE)
+        self.adopted = True
 
     @property
     def recorded(self) -> bool:
-        return self._packed_list is not None
+        return self._packed is not None
 
-    def packed_stream(self) -> List[int]:
-        """The per-record base outputs as a plain-int list (tail hot path)."""
-        if self._packed_list is None:
-            if self._packed is None:
-                raise RuntimeError("SharedBase.record() has not run yet")
-            self._packed_list = self._packed.tolist()
-        return self._packed_list
+    def packed_stream(self) -> np.ndarray:
+        """The per-record base outputs as a packed ``uint64`` array."""
+        if self._packed is None:
+            raise RuntimeError("SharedBase.record() has not run yet")
+        return self._packed
 
     def footprint_bytes(self) -> int:
         """Approximate memory held by the recorded stream (docs/telemetry)."""
@@ -163,14 +196,16 @@ class SharedBase:
         statistical corrector and statistics -- the exact remainder of
         :meth:`TageSCL._build_step` after its TAGE + loop section.
         """
-        packed = self.packed_stream()
+        # ndarray.item returns a plain Python int -- numpy scalars must
+        # not leak into the SC's hashing, and plain-int bit ops are faster
+        packed_word = self.packed_stream().item
         sc_fused = tsl.sc.fused_step if tsl.sc is not None else None
         stats = tsl.stats
         predictions_counter = stats.counter("predictions")
         stats_add = stats.add
 
         def tail(t: int, pc: int, taken: bool) -> bool:
-            word = packed[t]
+            word = packed_word(t)
             tsl_pred = (word & BASE_TSL_PRED) != 0
             if sc_fused is not None:
                 final = sc_fused(t, pc, tsl_pred, word >> BASE_CONF_SHIFT, taken)

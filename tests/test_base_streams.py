@@ -1,0 +1,232 @@
+"""Persistent shared-base streams: record once, replay forever.
+
+The artifact store persists each batched group's recorded base stream
+keyed by (bundle digest, canonical base config digest,
+``BASE_STREAM_VERSION``); later runs -- and peer ``--join`` hosts --
+adopt the stored stream and run tail-only.  This suite is the warm
+path's correctness contract: replay from a *loaded* stream must be
+bit-identical to a fresh recording (and to the reference backend) for
+every workload and batchable family; a persisted base admits singleton
+batched groups; a version bump or a torn file invalidates cleanly; and
+cooperating hosts share exactly one recording.
+
+Note the deliberate asymmetry with ``tests/test_batched_equivalence``:
+warm-path assertions compare *results*, never predictor table state --
+an adopted base leaves the shared core/loop untrained by design (the
+tails never read them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ArtifactStore, ResultCache, Runner, RunnerConfig
+from repro.core.batched import base_config, plan_batches, run_group
+from repro.obs.metrics import registry as obs_registry
+from repro.tage.batched_state import BASE_STREAM_DTYPE, BASE_STREAM_VERSION, SharedBase
+from repro.traces.workloads import WORKLOAD_NAMES
+from tests.conftest import TEST_SCALE
+
+CONFIG_NAMES = ("tsl_64k", "llbp", "llbpx")
+NUM_BRANCHES = 2_000
+SMALL = RunnerConfig(scale=TEST_SCALE, num_branches=NUM_BRANCHES)
+
+
+# -- bit-identity: loaded replay == fresh record == reference --------------------
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_loaded_replay_is_bit_identical(workload, tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts")
+    cells = [(workload, name, {}) for name in CONFIG_NAMES]
+    plan = plan_batches(cells, TEST_SCALE)
+    assert [len(g) for g in plan.groups] == [len(CONFIG_NAMES)]
+
+    recorded = run_group(Runner(SMALL, artifacts=store), workload, plan.groups[0])
+    assert store.base_writes == 1 and store.base_loads == 0
+    assert all(not outcome.base_warm for outcome in recorded)
+
+    replayed = run_group(Runner(SMALL, artifacts=store), workload, plan.groups[0])
+    assert store.base_loads == 1 and store.base_writes == 1  # no re-record
+    assert all(outcome.base_warm for outcome in replayed)
+
+    reference = Runner(SMALL)
+    for rec, rep in zip(recorded, replayed):
+        _, name, _ = rec.cell
+        expected = reference.run_one(workload, name, use_cache=False)
+        assert rec.result == expected
+        assert rep.result == expected
+
+
+def test_stream_on_disk_round_trips_exactly(tmp_path):
+    """The persisted array is byte-for-byte the recorded stream."""
+    store = ArtifactStore(tmp_path / "artifacts")
+    runner = Runner(SMALL, artifacts=store)
+    bundle = runner.bundle("kafka")
+    base = base_config("llbp", TEST_SCALE)
+    shared = SharedBase(base, bundle.tensors)
+    shared.record(bundle.trace, bundle.tensors)
+    stream = shared.packed_stream()
+    assert stream.dtype == BASE_STREAM_DTYPE
+
+    store.save_base_stream("kafka", SMALL, base, stream)
+    loaded = store.load_base_stream("kafka", SMALL, base, expected_length=len(bundle.trace))
+    assert loaded is not None and loaded.dtype == BASE_STREAM_DTYPE
+    assert np.array_equal(np.asarray(loaded), stream)
+
+    adopted = SharedBase(base, bundle.tensors)
+    adopted.adopt_stream(loaded)
+    assert adopted.recorded and adopted.adopted
+    assert adopted.footprint_bytes() == stream.nbytes
+
+
+# -- singleton warm-base planning ------------------------------------------------
+
+
+def test_plan_admits_warm_singletons():
+    cells = [("kafka", "tsl_16k", {})]
+    cold = plan_batches(cells, TEST_SCALE, min_lanes=2)
+    assert cold.groups == [] and cold.singles == cells
+
+    warm = plan_batches(cells, TEST_SCALE, min_lanes=2, base_warm=lambda w, c: True)
+    assert [len(g) for g in warm.groups] == [1] and warm.singles == []
+    assert warm.fallbacks == 0
+
+    # the predicate never admits structurally non-batchable cells
+    inf = plan_batches(
+        [("kafka", "tsl_inf", {})], TEST_SCALE, min_lanes=2, base_warm=lambda w, c: True
+    )
+    assert inf.groups == [] and inf.fallbacks == 1
+
+
+def test_singleton_with_persisted_base_runs_batched(tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts")
+    base = base_config("llbp", TEST_SCALE)
+    built, skipped = store.warm_bases(["kafka"], SMALL, [base])
+    assert (built, skipped) == (1, 0)
+
+    expected = Runner(SMALL).run_one("kafka", "llbp", use_cache=False)
+    runner = Runner(SMALL, artifacts=store)  # default backend: auto
+    assert runner.run_cells([("kafka", "llbp", {})]) == [expected]
+    assert runner.report.batched_group_sizes == [1]
+    assert runner.report.totals()["base_warm"] == 1
+    assert any(entry.base_warm for entry in runner.report.cells())
+    assert "base_warm=1" in runner.report.summary()
+    assert store.base_loads >= 1 and store.base_writes == 1  # only the warm pass wrote
+
+    # without a persisted base, the same singleton is still demoted
+    cold = Runner(SMALL)
+    cold.run_cells([("kafka", "llbp", {})])
+    assert cold.report.batched_group_sizes == []
+
+
+def test_warm_bases_skips_existing_and_unbatchable(tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts")
+    base = base_config("llbp", TEST_SCALE)
+    from repro.tage.config import preset_by_name
+
+    infinite = preset_by_name("tsl_inf", scale=TEST_SCALE)
+    built, skipped = store.warm_bases(["kafka"], SMALL, [base, infinite])
+    assert (built, skipped) == (1, 1)
+    built, skipped = store.warm_bases(["kafka"], SMALL, [base, infinite])
+    assert (built, skipped) == (0, 2)
+
+
+# -- invalidation ----------------------------------------------------------------
+
+
+def test_version_bump_invalidates_persisted_streams(tmp_path, monkeypatch):
+    store = ArtifactStore(tmp_path / "artifacts")
+    base = base_config("llbp", TEST_SCALE)
+    store.warm_bases(["kafka"], SMALL, [base])
+    assert store.has_base_stream("kafka", SMALL, base)
+
+    monkeypatch.setattr("repro.core.artifacts.BASE_STREAM_VERSION", BASE_STREAM_VERSION + 1)
+    assert not store.has_base_stream("kafka", SMALL, base)
+    assert store.load_base_stream("kafka", SMALL, base) is None
+    built, skipped = store.warm_bases(["kafka"], SMALL, [base])
+    assert (built, skipped) == (1, 0)  # re-recorded under the new key
+
+
+def test_torn_stream_is_quarantined_and_regenerated(tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts")
+    cells = [("kafka", name, {}) for name in ("llbp", "llbpx")]
+    plan = plan_batches(cells, TEST_SCALE)
+    outcomes = run_group(Runner(SMALL, artifacts=store), "kafka", plan.groups[0])
+
+    base = base_config("llbp", TEST_SCALE)
+    path = store.base_stream_path("kafka", SMALL, base)
+    assert path.is_file()
+    path.write_bytes(b"\x93NUMPY torn mid-write")
+    assert store.load_base_stream("kafka", SMALL, base) is None
+    assert store.quarantined == 1
+    assert path.with_name(f"{path.name}.corrupt").is_file() and not path.is_file()
+
+    # the next group records a fresh stream over the same name, results intact
+    regenerated = run_group(Runner(SMALL, artifacts=store), "kafka", plan.groups[0])
+    assert all(not outcome.base_warm for outcome in regenerated)
+    assert [o.result for o in regenerated] == [o.result for o in outcomes]
+    assert store.load_base_stream("kafka", SMALL, base) is not None
+
+
+def test_wrong_length_stream_is_quarantined(tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts")
+    base = base_config("llbp", TEST_SCALE)
+    runner = Runner(SMALL, artifacts=store)
+    bundle = runner.bundle("kafka")
+    store.save_base_stream(
+        "kafka", SMALL, base, np.zeros(7, dtype=BASE_STREAM_DTYPE)
+    )
+    assert (
+        store.load_base_stream("kafka", SMALL, base, expected_length=len(bundle.trace))
+        is None
+    )
+    assert store.quarantined == 1
+
+
+# -- cooperating hosts share one recording ---------------------------------------
+
+
+def test_join_hosts_share_one_recording(tmp_path):
+    from repro.core.sched import CoopScheduler, HostLedger
+
+    cache_dir = tmp_path / "cache"
+    hosts_dir = tmp_path / "hosts"
+    art_dir = tmp_path / "artifacts"
+
+    def make_host(host_id):
+        runner = Runner(
+            SMALL, cache=ResultCache(cache_dir), artifacts=ArtifactStore(art_dir)
+        )
+        runner.coop = CoopScheduler(HostLedger(hosts_dir, host_id=host_id), claim_batch=2)
+        return runner
+
+    records_before = obs_registry().counter("backend.base_records").value
+
+    # host A claims its same-base pair as one batched group: one recording
+    host_a = make_host("hostA")
+    group_cells = [("kafka", "llbp", {}), ("kafka", "llbpx", {})]
+    results_a = host_a.run_cells(group_cells)
+    assert host_a.artifacts.base_writes == 1 and host_a.artifacts.base_loads == 0
+
+    # hosts B and C drain same-base cells later: warm singletons, zero records
+    host_b = make_host("hostB")
+    results_b = host_b.run_cells([("kafka", "llbp_0lat", {})])
+    assert host_b.artifacts.base_writes == 0 and host_b.artifacts.base_loads == 1
+    assert host_b.report.totals()["base_warm"] == 1
+    assert host_b.report.batched_group_sizes == [1]
+
+    host_c = make_host("hostC")
+    results_c = host_c.run_cells([("kafka", "llbpx_0lat", {})])
+    assert host_c.artifacts.base_writes == 0 and host_c.artifacts.base_loads == 1
+
+    # exactly one recording total, one stream file on disk, serving all hosts
+    assert obs_registry().counter("backend.base_records").value == records_before + 1
+    assert len(list(art_dir.rglob("base_*.npy"))) == 1
+
+    reference = Runner(SMALL)
+    for (workload, name, _), result in zip(group_cells, results_a):
+        assert result == reference.run_one(workload, name, use_cache=False)
+    assert results_b == [reference.run_one("kafka", "llbp_0lat", use_cache=False)]
+    assert results_c == [reference.run_one("kafka", "llbpx_0lat", use_cache=False)]

@@ -189,7 +189,7 @@ class TestExecution:
             "cells": 1, "cached": 0, "simulated": 1, "attempts": 1,
             "retries": 0, "interruptions": 0, "failures": 0,
             "seconds": payload["totals"]["seconds"],
-            "batched_groups": 0, "batched_lanes": 0,
+            "batched_groups": 0, "batched_lanes": 0, "base_warm": 0,
         }
         assert payload["simulations"] == 1
         assert payload["cells"][0]["workload"] == "kafka"
