@@ -4,6 +4,9 @@ Commands:
 
 * ``run``        -- simulate one or more predictor configurations on workloads
 * ``report``     -- regenerate one of the paper's tables/figures
+* ``serve``      -- run the experiment service daemon (HTTP job queue)
+* ``submit``     -- submit a matrix to a running daemon (``--wait`` to block)
+* ``status``     -- query a running daemon's health / job states
 * ``obs-report`` -- render a merged telemetry run (spans, metrics, faults)
 * ``list``       -- show known workloads and predictor configurations
 
@@ -16,6 +19,10 @@ Examples::
         --sample-interval 20000 --metrics-out metrics.json
     python -m repro obs-report .telemetry
     python -m repro list
+    python -m repro serve --port 8765 --cache-dir .result-cache
+    python -m repro submit --url http://127.0.0.1:8765 \
+        --workload kafka --config tsl_64k --config llbp --wait
+    python -m repro status --url http://127.0.0.1:8765
 
 ``--jobs N`` fans uncached simulations out over N worker processes, one
 task per (workload, config) cell (bit-identical results); ``--cache-dir``
@@ -262,24 +269,155 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    runner = _make_runner(args)
-    progress = None
-    if args.jobs > 1:
-        progress = _progress_printer(len(args.workload) * len(args.config))
-    matrix = runner.run_matrix(args.workload, args.config, progress=progress, jobs=args.jobs)
-    for workload in args.workload:
+def _print_matrix(workloads, configs, result_of) -> None:
+    """Render one matrix's summary lines (first config is the baseline).
+
+    Shared by ``run`` (local results) and ``submit --wait`` (results
+    fetched from the daemon's ``/results/<digest>`` endpoint), so the two
+    paths print byte-identical output for identical matrices -- CI diffs
+    them.
+    """
+    for workload in workloads:
         baseline = None
-        for config in args.config:
-            result = matrix[workload][config]
+        for config in configs:
+            result = result_of(workload, config)
             line = result.summary()
             if baseline is None:
                 baseline = result
             else:
                 line += f"  ({reduction(baseline, result):+5.1f}% vs {baseline.predictor})"
             print(line)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    progress = None
+    if args.jobs > 1:
+        progress = _progress_printer(len(args.workload) * len(args.config))
+    matrix = runner.run_matrix(args.workload, args.config, progress=progress, jobs=args.jobs)
+    _print_matrix(args.workload, args.config, lambda workload, config: matrix[workload][config])
+    for workload in args.workload:
         runner.release(workload)
     _finish_run(args, runner)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService, ServiceServer
+
+    if not args.cache_dir or getattr(args, "no_cache", False):
+        print(
+            "serve requires --cache-dir (the shared result cache backs the "
+            "/results endpoint and the zero-duplicate-work guarantee) and is "
+            "incompatible with --no-cache",
+            file=sys.stderr,
+        )
+        return 2
+    service = ExperimentService(
+        args.cache_dir,
+        artifact_dir=args.artifact_dir,
+        events_dir=args.events_dir,
+        branches=args.branches,
+        scale=args.scale,
+        backend=args.backend,
+        jobs=args.jobs,
+        quota=args.quota,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        join=args.join,
+        hosts_dir=args.hosts_dir,
+        host_id=args.host_id,
+        claim_batch=args.claim_batch,
+    )
+    server = ServiceServer(
+        service,
+        host=args.host,
+        port=args.port,
+        on_ready=lambda srv: print(
+            f"service listening on http://{srv.host}:{srv.port}", flush=True
+        ),
+    )
+    server.serve_forever()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    spec = {
+        "workloads": args.workload,
+        "configs": args.config,
+        "branches": args.branches,
+        "scale": args.scale,
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "priority": args.priority,
+    }
+    try:
+        job = client.submit(spec, tenant=args.tenant)
+    except (ServiceError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    # job-id chatter goes to stderr so `submit --wait` stdout stays
+    # byte-identical to `run` stdout for the same matrix
+    print(f"submitted {job['id']} to {args.url}", file=sys.stderr)
+    if not args.wait:
+        print(job["id"])
+        return 0
+    try:
+        final = client.wait(job["id"], timeout=args.timeout)
+    except (TimeoutError, ServiceError, OSError) as exc:
+        print(f"wait failed: {exc}", file=sys.stderr)
+        return 1
+    if final["state"] != "done":
+        print(
+            f"{job['id']} finished as {final['state']}: {final.get('error', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    results = {
+        (cell["workload"], cell["config"]): client.result(cell["digest"])
+        for cell in final["cells"]
+    }
+    _print_matrix(
+        args.workload, args.config, lambda workload, config: results[(workload, config)]
+    )
+    report = final.get("report") or {}
+    logger.info(
+        "job %s: %s simulations, totals %s",
+        job["id"],
+        report.get("simulations"),
+        report.get("totals"),
+    )
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id:
+            print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+        else:
+            health = client.health()
+            states = health.get("jobs", {})
+            cache = health.get("cache", {})
+            print(
+                f"service ok: jobs={states} done={health.get('jobs_done', 0)} "
+                f"cache_hits={cache.get('hits', 0)} cache_entries={cache.get('entries', cache.get('writes', 0))}"
+            )
+            for entry in client.jobs():
+                spec = entry["spec"]
+                print(
+                    f"  {entry['id']}  {entry['state']:<9} tenant={spec['tenant']:<10} "
+                    f"{len(spec['workloads'])}x{len(spec['configs'])} cells "
+                    f"priority={spec['priority']}"
+                )
+    except (ServiceError, OSError) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -462,6 +600,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated workload subset (default: the figure's own set)",
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the experiment service daemon (HTTP job queue over a warm runner)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (default: 8765; 0 binds an ephemeral port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--quota", type=int, default=0, metavar="N",
+        help="max queued+running jobs per tenant (default: 0 = unlimited); "
+        "a submit beyond the quota is rejected with HTTP 429",
+    )
+    p_serve.add_argument(
+        "--events-dir", default=None, metavar="DIR",
+        help="progress-event sink directory served by /jobs/<id>/events "
+        "(default: <cache-dir>/.service-events)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an experiment matrix to a running daemon"
+    )
+    p_submit.add_argument("--url", required=True, help="daemon URL, e.g. http://127.0.0.1:8765")
+    p_submit.add_argument("--workload", action="append", required=True, choices=WORKLOAD_NAMES)
+    p_submit.add_argument("--config", action="append", required=True, choices=KNOWN_CONFIGS)
+    p_submit.add_argument("--branches", type=int, default=120_000, help="trace length per workload")
+    p_submit.add_argument("--scale", type=int, default=8, help="capacity scale (DESIGN.md §1)")
+    p_submit.add_argument(
+        "--jobs", type=int, default=1, help="worker processes the daemon uses for this job"
+    )
+    p_submit.add_argument(
+        "--backend", choices=("auto", "reference", "batched"), default="auto",
+        help="execution backend for this job (results are bit-identical)",
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher runs first; FIFO within a priority)",
+    )
+    p_submit.add_argument("--tenant", default=None, help="tenant name for quota accounting")
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes, then fetch every cell's result from "
+        "/results/<digest> and print the same summary lines `repro run` prints",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="with --wait: give up after SECONDS (default: 600)",
+    )
+    p_submit.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="warning",
+        help=argparse.SUPPRESS,
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="query a running daemon's health and jobs")
+    p_status.add_argument("--url", required=True, help="daemon URL, e.g. http://127.0.0.1:8765")
+    p_status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id for a full status + report dump (default: service summary)",
+    )
+    p_status.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="warning",
+        help=argparse.SUPPRESS,
+    )
+    p_status.set_defaults(func=cmd_status)
 
     p_obs = sub.add_parser(
         "obs-report", help="render a recorded telemetry run (spans, metrics, fault timeline)"

@@ -553,6 +553,7 @@ def run_cells_parallel(
                 consecutive_breaks,
             )
 
+    interrupted = False
     try:
         while pending or inflight:
             if fallback:
@@ -701,9 +702,25 @@ def run_cells_parallel(
                     inflight.clear()
                     _shutdown_pool(pool, kill=True)
                     pool = None
+    except (KeyboardInterrupt, GeneratorExit):
+        # Ctrl-C in the parent, or the caller abandoning the iterator
+        # (e.g. the experiment service cancelling a job): cancel every
+        # queued future and terminate the workers *now* -- an interrupted
+        # matrix must never leave a pool alive behind the exception.
+        interrupted = True
+        raise
     finally:
         if pool is not None:
             _shutdown_pool(pool, kill=True)
+            pool = None
+        if interrupted:
+            obs_registry().counter("parallel.interrupts").inc()
+            emit_event("run-interrupted", pending=len(pending), inflight=len(inflight))
+            logger.warning(
+                "interrupted: cancelled %d queued and %d in-flight tasks",
+                len(pending),
+                len(inflight),
+            )
         model.save()
 
 

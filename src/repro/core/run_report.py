@@ -79,6 +79,9 @@ class RunReport:
         self.pool_rebuilds = 0
         self.timeouts = 0
         self.serial_fallback = False
+        #: the run was interrupted (Ctrl-C, or a service job cancellation)
+        #: before every cell resolved -- recorded results are still valid
+        self.interrupted = False
         #: lane count of every batched group executed this run
         self.batched_group_sizes: List[int] = []
         #: (predicted, actual) seconds per completed cell -- the cost
@@ -194,6 +197,11 @@ class RunReport:
         """``cells`` stale claims of a dead host were reaped for re-claim."""
         self.reaped_claims += int(cells)
 
+    def record_interrupted(self) -> None:
+        """The run stopped before completion (interrupt or cancellation)."""
+        self.interrupted = True
+        emit_event("run-interrupted-report")
+
     # -- aggregates ---------------------------------------------------------
 
     def cells(self) -> List[CellReport]:
@@ -261,6 +269,7 @@ class RunReport:
             "pool_rebuilds": self.pool_rebuilds,
             "timeouts": self.timeouts,
             "serial_fallback": self.serial_fallback,
+            "interrupted": self.interrupted,
             "batched_group_sizes": list(self.batched_group_sizes),
             "cost_model": self.prediction_stats(),
             "quarantined": 0,
@@ -297,6 +306,8 @@ class RunReport:
             f"max_group_lanes={max(sizes) if sizes else 0} "
             f"base_warm={totals['base_warm']}"
         )
+        if self.interrupted:
+            line += " interrupted=yes"
         stats = self.prediction_stats()
         if stats["mape_percent"] is not None:
             line += f" cost_model={stats['kind'] or 'heuristic'} cost_mape={stats['mape_percent']}%"

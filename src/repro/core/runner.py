@@ -231,6 +231,18 @@ class Runner:
     def _digest(self, workload: str, name: str, overrides: Mapping[str, object]) -> str:
         return cache_digest(cache_key(workload, name, overrides, self.config))
 
+    def digest(
+        self, workload: str, name: str, overrides: Optional[Mapping[str, object]] = None
+    ) -> str:
+        """Content digest of one cell under this runner's config.
+
+        The digest is the cell's identity in the disk
+        :class:`~repro.core.results_io.ResultCache`, in the multi-host
+        claim ledger, and in the experiment service's ``/results/<key>``
+        endpoint -- the same bytes name the same result everywhere.
+        """
+        return self._digest(workload, name, overrides or {})
+
     def lookup_cached(
         self, workload: str, name: str, overrides: Optional[Mapping[str, object]] = None
     ) -> Optional[SimulationResult]:
@@ -486,62 +498,71 @@ class Runner:
                 by_workload: Dict[str, List[ResultKey]] = {}
                 for key in pending:
                     by_workload.setdefault(key[0], []).append(key)
-                for workload, keys in by_workload.items():
-                    singles = [cell_of[key] for key in keys]
-                    if resolved != BACKEND_REFERENCE:
-                        from repro.core.batched import plan_batches, run_group
-                        from repro.core.costmodel import BASE_WARM_BACKEND
-
-                        plan = plan_batches(
-                            singles,
-                            self.config.scale,
-                            min_lanes=1 if resolved == BACKEND_BATCHED else 2,
-                            base_warm=self.base_stream_warm,
-                        )
-                        singles = plan.singles
-                        if plan.fallbacks:
-                            obs_registry().counter("backend.fallbacks").inc(plan.fallbacks)
-                        for group in plan.groups:
-                            for cell_w, name, overrides in group:
-                                self.report.record_attempt(cell_w, name, overrides)
-                            self.report.record_batched_group(len(group))
-                            for outcome in run_group(self, workload, group):
-                                cell_w, name, overrides = outcome.cell
-                                # warm lanes observe under their own
-                                # backend key: tail-only replay has a
-                                # different cost profile than record+tail
-                                backend_key = (
-                                    BASE_WARM_BACKEND if outcome.base_warm else "batched"
-                                )
-                                self.report.record_success(
-                                    cell_w,
-                                    name,
-                                    overrides,
-                                    outcome.seconds,
-                                    backend="batched",
-                                    base_warm=outcome.base_warm,
-                                )
-                                self.timing_store().observe(
-                                    workload,
-                                    name,
-                                    outcome.seconds,
-                                    backend=backend_key,
-                                    branches=self.config.num_branches,
-                                )
-                                finish(result_key(cell_w, name, overrides), outcome.result)
-                    for cell_w, name, overrides in singles:
-                        started = time.perf_counter()
-                        result = self.run_one(workload, name, use_cache=False, **overrides)
-                        elapsed = time.perf_counter() - started
-                        self.timing_store().observe(
-                            workload, name, elapsed, branches=self.config.num_branches
-                        )
-                        finish(result_key(cell_w, name, overrides), result)
-                    if release_bundles:
-                        self.release(workload)
-                self.timing_store().save()
+                try:
+                    self._run_serial(by_workload, cell_of, resolved, finish, release_bundles)
+                finally:
+                    # an interrupt mid-matrix still persists the timings
+                    # observed so far (advisory scheduling data; partial
+                    # saves are safe -- the store merges on write)
+                    self.timing_store().save()
         obs_flush()  # publish this process's metrics snapshot, if enabled
         return [out[index] for index in range(len(cells))]
+
+    def _run_serial(self, by_workload, cell_of, resolved, finish, release_bundles) -> None:
+        """The serial (single-process) leg of :meth:`run_cells`."""
+        for workload, keys in by_workload.items():
+            singles = [cell_of[key] for key in keys]
+            if resolved != BACKEND_REFERENCE:
+                from repro.core.batched import plan_batches, run_group
+                from repro.core.costmodel import BASE_WARM_BACKEND
+
+                plan = plan_batches(
+                    singles,
+                    self.config.scale,
+                    min_lanes=1 if resolved == BACKEND_BATCHED else 2,
+                    base_warm=self.base_stream_warm,
+                )
+                singles = plan.singles
+                if plan.fallbacks:
+                    obs_registry().counter("backend.fallbacks").inc(plan.fallbacks)
+                for group in plan.groups:
+                    for cell_w, name, overrides in group:
+                        self.report.record_attempt(cell_w, name, overrides)
+                    self.report.record_batched_group(len(group))
+                    for outcome in run_group(self, workload, group):
+                        cell_w, name, overrides = outcome.cell
+                        # warm lanes observe under their own
+                        # backend key: tail-only replay has a
+                        # different cost profile than record+tail
+                        backend_key = (
+                            BASE_WARM_BACKEND if outcome.base_warm else "batched"
+                        )
+                        self.report.record_success(
+                            cell_w,
+                            name,
+                            overrides,
+                            outcome.seconds,
+                            backend="batched",
+                            base_warm=outcome.base_warm,
+                        )
+                        self.timing_store().observe(
+                            workload,
+                            name,
+                            outcome.seconds,
+                            backend=backend_key,
+                            branches=self.config.num_branches,
+                        )
+                        finish(result_key(cell_w, name, overrides), outcome.result)
+            for cell_w, name, overrides in singles:
+                started = time.perf_counter()
+                result = self.run_one(workload, name, use_cache=False, **overrides)
+                elapsed = time.perf_counter() - started
+                self.timing_store().observe(
+                    workload, name, elapsed, branches=self.config.num_branches
+                )
+                finish(result_key(cell_w, name, overrides), result)
+            if release_bundles:
+                self.release(workload)
 
     def run_matrix(
         self,

@@ -87,6 +87,17 @@ def default_host_id() -> str:
     return f"{node or 'host'}-{os.getpid()}"
 
 
+def file_age(mtime: float, now: Optional[float] = None) -> float:
+    """Seconds since ``mtime``, clamped to >= 0.
+
+    Cross-machine clock skew (or a coarse-mtime filesystem rounding a
+    write into the future) can make ``time.time() - st_mtime`` negative;
+    a negative age must never rank a peer's file as *fresher than now*,
+    so freshness comparisons all go through this clamp.
+    """
+    return max(0.0, (time.time() if now is None else now) - mtime)
+
+
 class HostLedger:
     """Claim/heartbeat marker files shared by cooperating hosts.
 
@@ -125,7 +136,7 @@ class HostLedger:
         alive = []
         for path in sorted(self.root.glob("*.heartbeat")):
             try:
-                if now - path.stat().st_mtime <= self.heartbeat_ttl:
+                if file_age(path.stat().st_mtime, now) <= self.heartbeat_ttl:
                     alive.append(path.name[: -len(".heartbeat")])
             except FileNotFoundError:
                 continue
@@ -176,7 +187,7 @@ class HostLedger:
         """Whether a claim's owner is provably dead (reaping rule)."""
         path = self.claim_path(token)
         try:
-            claim_age = time.time() - path.stat().st_mtime
+            claim_age = file_age(path.stat().st_mtime)
         except FileNotFoundError:
             return False  # already released or reaped
         owner = self.read_claim(token)
@@ -197,9 +208,9 @@ class HostLedger:
         heartbeat_age = float("inf")
         if owner is not None:
             try:
-                heartbeat_age = time.time() - self.heartbeat_path(
-                    str(owner.get("host"))
-                ).stat().st_mtime
+                heartbeat_age = file_age(
+                    self.heartbeat_path(str(owner.get("host"))).stat().st_mtime
+                )
             except (FileNotFoundError, OSError):
                 pass
         return heartbeat_age > self.heartbeat_ttl
@@ -292,107 +303,128 @@ def drain_cooperative(
         ",".join(h for h in ledger.hosts() if h != ledger.host_id) or "none",
     )
 
-    while remaining:
-        # 1. adopt results peers have published since the last round
-        for digest in list(remaining):
-            workload, name, overrides = remaining[digest]
-            published = runner.lookup_cached(workload, name, overrides)
-            if published is not None:
-                del remaining[digest]
-                report.record_peer_result()
-                obs_registry().counter("sched.peer_results").inc()
-                emit_event(
-                    "peer-result", host=ledger.host_id, workload=workload, config=name
-                )
-                yield (workload, name, overrides), published
-        if not remaining:
-            break
-
-        # 2. make dead hosts' cells claimable again
-        reaped = ledger.reap_stale(list(remaining))
-        if reaped:
-            report.record_reap(reaped)
-
-        # 3. claim a batch: the anchor in insertion (= predicted-cost)
-        # order, then prefer peers of the anchor's (workload, shared
-        # base) -- cells this host will execute as one batched group
-        # over a single base pass / persisted base stream -- topping up
-        # in ranked order only when same-base peers run out
-        from repro.core.batched import base_config as base_config_of
-
-        claimed: List[Tuple[str, Cell]] = []
-        batch_cap = max(1, coop.claim_batch)
-        anchor_key: Optional[Tuple[str, object]] = None
-        for digest, cell in remaining.items():
-            if len(claimed) >= batch_cap:
+    #: claims this host currently holds (claimed, not yet released) --
+    #: released unconditionally on exit so an interrupt, an error, or an
+    #: abandoned iterator can never leak claim files that peers would
+    #: otherwise wait a full heartbeat TTL to reap
+    held: Dict[str, Cell] = {}
+    try:
+        while remaining:
+            # 1. adopt results peers have published since the last round
+            for digest in list(remaining):
+                workload, name, overrides = remaining[digest]
+                published = runner.lookup_cached(workload, name, overrides)
+                if published is not None:
+                    del remaining[digest]
+                    report.record_peer_result()
+                    obs_registry().counter("sched.peer_results").inc()
+                    emit_event(
+                        "peer-result", host=ledger.host_id, workload=workload, config=name
+                    )
+                    yield (workload, name, overrides), published
+            if not remaining:
                 break
-            base = base_config_of(cell[1], runner.config.scale)
-            key = (cell[0], base) if base is not None else None
-            if claimed and (anchor_key is None or key != anchor_key):
-                continue
-            if ledger.claim(digest):
-                claimed.append((digest, cell))
-                if len(claimed) == 1:
-                    anchor_key = key
-        if len(claimed) < batch_cap:
-            held = {digest for digest, _ in claimed}
+
+            # 2. make dead hosts' cells claimable again
+            reaped = ledger.reap_stale(list(remaining))
+            if reaped:
+                report.record_reap(reaped)
+
+            # 3. claim a batch: the anchor in insertion (= predicted-cost)
+            # order, then prefer peers of the anchor's (workload, shared
+            # base) -- cells this host will execute as one batched group
+            # over a single base pass / persisted base stream -- topping up
+            # in ranked order only when same-base peers run out
+            from repro.core.batched import base_config as base_config_of
+
+            claimed: List[Tuple[str, Cell]] = []
+            batch_cap = max(1, coop.claim_batch)
+            anchor_key: Optional[Tuple[str, object]] = None
             for digest, cell in remaining.items():
                 if len(claimed) >= batch_cap:
                     break
-                if digest in held:
+                base = base_config_of(cell[1], runner.config.scale)
+                key = (cell[0], base) if base is not None else None
+                if claimed and (anchor_key is None or key != anchor_key):
                     continue
                 if ledger.claim(digest):
                     claimed.append((digest, cell))
-        ledger.beat()
+                    held[digest] = cell
+                    if len(claimed) == 1:
+                        anchor_key = key
+            if len(claimed) < batch_cap:
+                won = {digest for digest, _ in claimed}
+                for digest, cell in remaining.items():
+                    if len(claimed) >= batch_cap:
+                        break
+                    if digest in won:
+                        continue
+                    if ledger.claim(digest):
+                        claimed.append((digest, cell))
+                        held[digest] = cell
+            ledger.beat()
 
-        if not claimed:
-            # peers hold everything left: wait for publishes or reapable
-            # deaths, heartbeating so *our* claims stay protected
-            obs_registry().counter("sched.wait_rounds").inc()
-            time.sleep(max(0.01, coop.poll_interval))
-            continue
+            if not claimed:
+                # peers hold everything left: wait for publishes or reapable
+                # deaths, heartbeating so *our* claims stay protected
+                obs_registry().counter("sched.wait_rounds").inc()
+                time.sleep(max(0.01, coop.poll_interval))
+                continue
 
-        report.record_claim(len(claimed))
-        obs_registry().counter("sched.claims").inc(len(claimed))
-        predicted: List[float] = []
-        for digest, (workload, name, _) in claimed:
-            emit_event(
-                "cell-claim", host=ledger.host_id, workload=workload, config=name
-            )
-            predicted.append(
-                model.estimate(workload, name, runner.config.num_branches, runner.backend)
-            )
+            report.record_claim(len(claimed))
+            obs_registry().counter("sched.claims").inc(len(claimed))
+            predicted: List[float] = []
+            for digest, (workload, name, _) in claimed:
+                emit_event(
+                    "cell-claim", host=ledger.host_id, workload=workload, config=name
+                )
+                predicted.append(
+                    model.estimate(workload, name, runner.config.num_branches, runner.backend)
+                )
 
-        # 4. simulate through the ordinary pipeline (coop disabled so the
-        # recursive run_cells call executes instead of re-claiming); the
-        # runner publishes each result to the shared cache before run_cells
-        # returns, so release-after-return preserves publish-before-release
-        runner.coop = None
-        before = [report.cell(*cell).seconds for _, cell in claimed]
-        preds_before = len(report.predictions)
-        try:
-            results = runner.run_cells(
-                [cell for _, cell in claimed], jobs=jobs, backend=backend
-            )
-        except BaseException:
-            # this host stays alive after the error, so nothing would ever
-            # reap these claims -- hand the cells back to the peers
-            for digest, _ in claimed:
+            # 4. simulate through the ordinary pipeline (coop disabled so the
+            # recursive run_cells call executes instead of re-claiming); the
+            # runner publishes each result to the shared cache before run_cells
+            # returns, so release-after-return preserves publish-before-release.
+            # An error or interrupt inside run_cells leaves the claims in
+            # ``held``; the outer finally hands those cells back to the peers.
+            runner.coop = None
+            before = [report.cell(*cell).seconds for _, cell in claimed]
+            preds_before = len(report.predictions)
+            try:
+                results = runner.run_cells(
+                    [cell for _, cell in claimed], jobs=jobs, backend=backend
+                )
+            finally:
+                runner.coop = coop
+            if len(report.predictions) == preds_before:
+                # serial inner path: the pool scheduler didn't score these
+                # cells, so score the claim-time predictions here
+                for (_, cell), guess, prev in zip(claimed, predicted, before):
+                    actual = report.cell(*cell).seconds - prev
+                    if actual > 0.0:
+                        report.record_prediction(guess, actual)
+            for (digest, cell), result in zip(claimed, results):
                 ledger.release(digest)
-            raise
-        finally:
-            runner.coop = coop
-        if len(report.predictions) == preds_before:
-            # serial inner path: the pool scheduler didn't score these
-            # cells, so score the claim-time predictions here
-            for (_, cell), guess, prev in zip(claimed, predicted, before):
-                actual = report.cell(*cell).seconds - prev
-                if actual > 0.0:
-                    report.record_prediction(guess, actual)
-        for (digest, cell), result in zip(claimed, results):
-            ledger.release(digest)
-            del remaining[digest]
-            yield cell, result
-        ledger.beat()
+                held.pop(digest, None)
+                del remaining[digest]
+                yield cell, result
+            ledger.beat()
+    finally:
+        if held:
+            # interrupt (Ctrl-C / job cancellation closing this generator)
+            # or error with claims still held: this host stays alive, so
+            # nothing would ever reap them -- release immediately instead
+            # of leaking the claim files until the heartbeat TTL expires.
+            # Completed cells were published before their release above,
+            # so every claim released here is safe to re-claim.
+            for digest in list(held):
+                ledger.release(digest)
+            logger.warning(
+                "released %d unfinished claims held by %s", len(held), ledger.host_id
+            )
+            emit_event("claims-released", host=ledger.host_id, count=len(held))
+            obs_registry().counter("sched.released_claims").inc(len(held))
+            held.clear()
 
     emit_event("coop-done", host=ledger.host_id)

@@ -72,12 +72,16 @@ def _iter_file(path: Path) -> Iterator[Dict[str, object]]:
 
 
 def read_events(
-    directory: Union[str, Path], event_type: Optional[str] = None
+    directory: Union[str, Path],
+    event_type: Optional[str] = None,
+    where: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """All events from every per-pid file, sorted by timestamp.
 
     Tolerates missing directories, unreadable files, and truncated
-    lines; optionally filters to one ``event_type``.
+    lines; optionally filters to one ``event_type`` and/or to events
+    whose fields match every ``where`` entry (the experiment service
+    uses ``where={"job": job_id}`` to stream one job's progress).
     """
     directory = Path(directory)
     events: List[Dict[str, object]] = []
@@ -85,7 +89,10 @@ def read_events(
         return events
     for path in sorted(directory.glob(EVENT_FILE_PREFIX + "*" + EVENT_FILE_SUFFIX)):
         for event in _iter_file(path):
-            if event_type is None or event.get("type") == event_type:
-                events.append(event)
+            if event_type is not None and event.get("type") != event_type:
+                continue
+            if where is not None and any(event.get(k) != v for k, v in where.items()):
+                continue
+            events.append(event)
     events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
     return events

@@ -1,0 +1,45 @@
+"""Experiment service: a long-running daemon wrapping the Runner.
+
+One warm :class:`~repro.core.runner.Runner` stack (result cache,
+artifact store, base-stream store, timing store) serves many experiment
+matrices submitted over HTTP, so clients pay the trace/bundle warm-up
+once per *daemon* instead of once per CLI invocation:
+
+* ``POST /jobs`` submits a matrix spec into a priority queue with
+  per-tenant quotas,
+* ``GET /jobs/<id>`` returns job status plus the structured
+  :class:`~repro.core.run_report.RunReport`,
+* ``GET /jobs/<id>/events`` streams per-cell progress (long-poll JSONL)
+  from the crash-safe observability event sink,
+* ``GET /results/<digest>`` fetches any cached result by content digest
+  straight from the :class:`~repro.core.results_io.ResultCache`.
+
+Everything is stdlib-only (``asyncio`` server, ``http.client`` client);
+results served by the daemon are bit-identical to a direct
+``Runner.run_matrix`` call (tests/test_service.py pins this).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ExperimentService
+from repro.service.jobs import (
+    Job,
+    JobCancelled,
+    JobQueue,
+    JobSpec,
+    QuotaExceeded,
+    SpecError,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "JobSpec",
+    "QuotaExceeded",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SpecError",
+]

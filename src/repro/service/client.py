@@ -1,0 +1,118 @@
+"""Stdlib HTTP client of the experiment service.
+
+:class:`ServiceClient` is a thin typed wrapper over
+``http.client.HTTPConnection`` -- one connection per request (the server
+speaks ``Connection: close``), JSON in and out, and non-2xx statuses
+surfaced as :class:`ServiceError` carrying the HTTP status so callers
+can distinguish a 429 quota rejection from a 400 malformed spec.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.parse import urlencode, urlsplit
+
+from repro.core.results_io import result_from_dict
+from repro.core.simulator import SimulationResult
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (``status`` + server message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed client for one daemon at ``url`` (e.g. ``http://127.0.0.1:8765``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else "http://" + url)
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> object:
+        body = None
+        send_headers = dict(headers or {})
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            send_headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=send_headers)
+            response = conn.getresponse()
+            raw = response.read().decode("utf-8")
+            content_type = response.getheader("Content-Type", "")
+        finally:
+            conn.close()
+        if response.status >= 300:
+            message = raw.strip()
+            try:
+                message = json.loads(raw).get("error", message)
+            except ValueError:
+                pass
+            raise ServiceError(response.status, message)
+        if "x-ndjson" in content_type:
+            return [json.loads(line) for line in raw.splitlines() if line.strip()]
+        return json.loads(raw) if raw.strip() else None
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: Dict[str, object], tenant: Optional[str] = None) -> Dict[str, object]:
+        headers = {"X-Tenant": tenant} if tenant else None
+        return self._request("POST", "/jobs", payload=spec, headers=headers)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str, after: int = 0, wait: float = 0.0) -> List[Dict[str, object]]:
+        query = urlencode({"after": after, "wait": wait})
+        # the long-poll may hold the connection up to `wait` seconds; pad
+        # the socket timeout so a quiet poll is not a client-side error
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?{query}", timeout=self.timeout + wait
+        )
+
+    def result(self, digest: str) -> SimulationResult:
+        return result_from_dict(self._request("GET", f"/results/{digest}"))
+
+    # -- conveniences -------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll: float = 0.2) -> Dict[str, object]:
+        """Poll until the job reaches a final state; returns the job dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"{job_id} still {job['state']} after {timeout:.0f}s")
+            time.sleep(poll)

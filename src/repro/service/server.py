@@ -1,0 +1,294 @@
+"""Stdlib-only asyncio HTTP/JSON front-end of the experiment service.
+
+The protocol surface is deliberately tiny -- HTTP/1.1,
+``Connection: close``, JSON bodies -- so the whole server fits in one
+``asyncio.start_server`` callback with a hand-rolled request parser and
+no third-party dependencies:
+
+=======  ==============================  =========================================
+method   path                            semantics
+=======  ==============================  =========================================
+GET      ``/healthz``                    daemon liveness + queue/cache stats
+POST     ``/jobs``                       submit a matrix spec (201 / 400 / 429)
+GET      ``/jobs``                       list all jobs (terse)
+GET      ``/jobs/<id>``                  job status + cells + RunReport (404)
+POST     ``/jobs/<id>/cancel``           request cancellation (also DELETE)
+GET      ``/jobs/<id>/events``           JSONL progress stream; ``?after=N``
+                                         resumes past cursor N, ``?wait=S``
+                                         long-polls up to S seconds
+GET      ``/results/<digest>``           cached result by content digest (404)
+=======  ==============================  =========================================
+
+Blocking work (the long-poll's event-file reads) runs via
+``asyncio.to_thread`` so one slow poller never stalls other clients.
+The server owns no state of its own: every request delegates to the
+:class:`~repro.service.daemon.ExperimentService`, whose drain thread is
+the only executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.results_io import result_to_dict
+from repro.obs.events import read_events
+from repro.obs.log import get_logger
+from repro.service.daemon import ExperimentService
+from repro.service.jobs import QuotaExceeded, SpecError
+
+__all__ = ["ServiceServer"]
+
+logger = get_logger("service.http")
+
+MAX_BODY_BYTES = 1 << 20  # a matrix spec is tiny; reject anything huge
+MAX_EVENT_WAIT = 60.0  # long-poll upper bound per request
+EVENT_POLL_INTERVAL = 0.1
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _response(status: int, body: bytes, content_type: str = "application/json") -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: object) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return _response(status, body)
+
+
+class ServiceServer:
+    """Asyncio HTTP server over one :class:`ExperimentService`.
+
+    ``port=0`` binds an ephemeral port (the bound port is published on
+    :attr:`port` once serving).  Two entry points: :meth:`serve_forever`
+    blocks the calling thread (the CLI's ``repro serve``) and stops
+    cleanly on SIGINT; :meth:`start_background` runs the event loop on a
+    daemon thread for in-process tests.
+    """
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_ready: Optional[Callable[["ServiceServer"], None]] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.on_ready = on_ready
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._shutdown: Optional[asyncio.Event] = None
+
+    # -- request handling ---------------------------------------------------
+
+    async def _read_request(self, reader) -> Tuple[str, str, Dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        try:
+            method, target, _version = request_line.decode("ascii").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            try:
+                method, target, headers, body = await self._read_request(reader)
+                payload = await self._route(method, target, headers, body)
+            except _HttpError as exc:
+                writer.write(_json_response(exc.status, {"error": exc.message}))
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # noqa: BLE001 - never kill the server loop
+                logger.error("internal error: %s", exc)
+                writer.write(_json_response(500, {"error": f"{type(exc).__name__}: {exc}"}))
+            else:
+                writer.write(payload)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, method: str, target: str, headers: Dict[str, str], body: bytes
+    ) -> bytes:
+        url = urlsplit(target)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+
+        if parts == ["healthz"] and method == "GET":
+            return _json_response(200, self.service.stats())
+
+        if parts == ["jobs"]:
+            if method == "POST":
+                return self._submit(headers, body)
+            if method == "GET":
+                jobs = [job.to_dict(verbose=False) for job in self.service.jobs()]
+                return _json_response(200, {"jobs": jobs})
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            job = self.service.job(job_id)
+            if job is None:
+                raise _HttpError(404, f"unknown job {job_id!r}")
+            if len(parts) == 2:
+                if method == "GET":
+                    return _json_response(200, job.to_dict())
+                if method == "DELETE":
+                    self.service.cancel(job_id)
+                    return _json_response(200, job.to_dict(verbose=False))
+                raise _HttpError(405, f"{method} not allowed on /jobs/<id>")
+            if parts[2] == "cancel" and method == "POST":
+                self.service.cancel(job_id)
+                return _json_response(200, job.to_dict(verbose=False))
+            if parts[2] == "events" and method == "GET":
+                return await self._events(job_id, query)
+            raise _HttpError(404, f"unknown endpoint /{'/'.join(parts)}")
+
+        if len(parts) == 2 and parts[0] == "results" and method == "GET":
+            result = self.service.result(parts[1])
+            if result is None:
+                raise _HttpError(404, f"no cached result for digest {parts[1]!r}")
+            return _json_response(200, result_to_dict(result))
+
+        raise _HttpError(404, f"unknown endpoint {url.path!r}")
+
+    def _submit(self, headers: Dict[str, str], body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            raise _HttpError(400, "request body is not valid JSON")
+        try:
+            job = self.service.submit(payload, tenant=headers.get("x-tenant"))
+        except SpecError as exc:
+            raise _HttpError(400, str(exc))
+        except QuotaExceeded as exc:
+            raise _HttpError(429, str(exc))
+        return _json_response(201, job.to_dict(verbose=False))
+
+    async def _events(self, job_id: str, query: Dict[str, list]) -> bytes:
+        """JSONL progress events with ``seq > after``; long-poll up to ``wait``."""
+        try:
+            after = int(query.get("after", ["0"])[0])
+            wait = min(MAX_EVENT_WAIT, float(query.get("wait", ["0"])[0]))
+        except ValueError:
+            raise _HttpError(400, "'after' and 'wait' must be numeric")
+
+        def _read() -> list:
+            events = read_events(self.service.events_dir, where={"job": job_id})
+            return [event for event in events if int(event.get("seq", 0) or 0) > after]
+
+        deadline = asyncio.get_running_loop().time() + wait
+        while True:
+            events = await asyncio.to_thread(_read)
+            job = self.service.job(job_id)
+            finished = job is None or job.finished
+            if events or finished or asyncio.get_running_loop().time() >= deadline:
+                lines = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+                return _response(200, lines.encode("utf-8"), "application/x-ndjson")
+            await asyncio.sleep(EVENT_POLL_INTERVAL)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def _serve(self) -> None:
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._handle, host=self.host, port=self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.service.start()
+        self._started.set()
+        logger.info("listening on http://%s:%d", self.host, self.port)
+        if self.on_ready is not None:
+            self.on_ready(self)
+        async with server:
+            await self._shutdown.wait()
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Run until SIGINT/SIGTERM (the ``repro serve`` foreground loop)."""
+
+        async def _main() -> None:
+            loop = asyncio.get_running_loop()
+            self._loop = loop
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, self.request_stop)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or platform without signal support
+            await self._serve()
+
+        asyncio.run(_main())
+
+    def request_stop(self) -> None:
+        """Thread/signal-safe shutdown request."""
+        loop = self._loop
+        if loop is not None and self._shutdown is not None:
+            loop.call_soon_threadsafe(self._shutdown.set)
+
+    def start_background(self) -> None:
+        """Serve on a daemon thread; returns once the port is bound."""
+
+        def _run() -> None:
+            async def _main() -> None:
+                self._loop = asyncio.get_running_loop()
+                await self._serve()
+
+            asyncio.run(_main())
+
+        self._thread = threading.Thread(target=_run, name="repro-service-http", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("service HTTP server failed to start within 10s")
+
+    def stop_background(self) -> None:
+        self.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None

@@ -219,6 +219,38 @@ class TestCooperativeDrain(unittest.TestCase):
                 list(drain_cooperative(runner, [("kafka", "tsl_64k", {})]))
 
 
+class TestFileAgeClamp:
+    def test_future_mtimes_clamp_to_zero(self):
+        # clock skew on shared filesystems can stamp files in the future;
+        # a negative age must never make a claim look fresh forever
+        from repro.core.sched import file_age
+
+        now = time.time()
+        assert file_age(now + 3600) == 0.0
+        assert file_age(100.0, now=90.0) == 0.0
+        assert file_age(90.0, now=100.0) == pytest.approx(10.0)
+        assert file_age(now - 5) >= 5.0
+
+    def test_reap_tolerates_future_claim_file(self, tmp_path):
+        # a claim stamped in the future by a skewed writer is still
+        # reapable once its owner pid is dead (same-machine probe)
+        import json as _json
+
+        ledger = HostLedger(tmp_path, host_id="skewed")
+        digest = "f" * 32
+        assert ledger.claim(digest)
+        # fake a dead owner: rewrite the claim with an impossible pid,
+        # stamped an hour in the future
+        path = ledger.claim_path(digest)
+        owner = _json.loads(path.read_text())
+        owner["host"], owner["pid"] = "ghost", 2**22 + 1  # beyond real pid space
+        path.write_text(_json.dumps(owner))
+        future = time.time() + 3600
+        os.utime(path, (future, future))
+        assert ledger.reap_stale([digest]) == 1
+        assert not path.exists()
+
+
 class TestSingleHostUnchanged:
     def test_coop_single_host_equals_plain(self, tmp_path):
         # one host with --join behaves exactly like a plain cached run
