@@ -242,6 +242,66 @@ def bench_backends(args, configs: list) -> dict:
     return section
 
 
+def append_ledger_record(directory, args, configs, rows, backend_section, base_section, wall):
+    """Append this benchmark run to a run-history ledger (``--ledger``).
+
+    The record has no embedded run report (the watchdog treats it as a
+    pure throughput measurement); its result digest covers only
+    deterministic outputs -- per-config misprediction counts in kernels
+    mode, the cell column otherwise -- so a digest flip means the
+    kernels' results changed, never that the machine got slower.
+    """
+    from repro.obs.ledger import RunLedger, matrix_digest, result_digest
+    from repro.obs.regress import check_and_update
+
+    mode = args.backend
+    if rows:
+        bps = sum(r["fused_branches_per_second"] for r in rows) / len(rows)
+        outcome = [{"config": r["config"], "mispredictions": r["mispredictions"]} for r in rows]
+        cells = len(rows)
+    elif base_section is not None:
+        bps = float(base_section["modes"]["warm"]["lane_branches_per_second"])
+        outcome = [{"cells": base_section["cells"]}]
+        cells = base_section["lanes"]
+    else:
+        timed = backend_section["backends"]
+        bps = max(entry["lane_branches_per_second"] for entry in timed.values())
+        outcome = [{"cells": backend_section["cells"]}]
+        cells = backend_section["lanes"]
+    identity = [
+        "bench-hotpath|%s|%s|%s|%d|%d" % (mode, args.workload, name, args.branches, args.scale)
+        for name in configs
+    ]
+    record = {
+        "source": "bench",
+        "context": {"benchmark": "hotpath", "mode": mode},
+        "workloads": [args.workload],
+        "configs": configs,
+        "backend": "bench-hotpath:%s" % mode,
+        "branches": args.branches * cells,
+        "scale": args.scale,
+        "matrix_digest": matrix_digest(identity),
+        "result_digest": result_digest(outcome),
+        "cells": cells,
+        "cache_hit_rate": 0.0,
+        "retries": 0,
+        "wall_seconds": round(wall, 3),
+        "cpu_seconds": round(time.process_time(), 3),
+        "branches_per_sec": round(float(bps), 2),
+    }
+    ledger = RunLedger(directory)
+    ledger.prepare(record)
+    flags = check_and_update(ledger.directory, record)
+    ledger.append(record)
+    for flag in flags:
+        print(
+            "regression [%s/%s]: %s"
+            % (flag.get("severity"), flag.get("kind"), flag.get("detail")),
+            file=sys.stderr,
+        )
+    print(f"ledger record appended to {directory}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--workload", default="nodeapp", help="workload profile to simulate")
@@ -253,6 +313,11 @@ def main(argv=None) -> int:
         help="fail (exit 1) if any config's fused rate is below this",
     )
     parser.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="append this run to the run-history ledger at DIR (read back "
+             "with `repro history`; checked against the rolling bench baseline)",
+    )
     parser.add_argument(
         "--backend", default="kernels",
         choices=("kernels", "reference", "batched", "compare", "base"),
@@ -291,6 +356,7 @@ def main(argv=None) -> int:
         f"configs {', '.join(configs)}, cpu_count={os.cpu_count()}"
     )
 
+    bench_start = time.perf_counter()
     backend_section = None
     base_section = None
     rows = []
@@ -331,6 +397,17 @@ def main(argv=None) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+
+    if args.ledger:
+        append_ledger_record(
+            args.ledger,
+            args,
+            configs,
+            rows,
+            backend_section,
+            base_section,
+            time.perf_counter() - bench_start,
+        )
 
     if args.base_floor is not None:
         if base_section is None:

@@ -79,12 +79,12 @@ def _store_health_gauges(prefix, stats, hits, attempts):
 
 
 def _timed_matrix(config, workloads, configs, jobs, cache=None, artifacts=None):
-    """One cold matrix run; returns (seconds, runner)."""
+    """One cold matrix run; returns (seconds, runner, result table)."""
     clear_trace_cache()  # charge trace generation to every run equally
     runner = Runner(config, cache=cache, artifacts=artifacts)
     start = time.perf_counter()
-    runner.run_matrix(workloads, configs, jobs=jobs)
-    return time.perf_counter() - start, runner
+    table = runner.run_matrix(workloads, configs, jobs=jobs)
+    return time.perf_counter() - start, runner, table
 
 
 def _phases(runner):
@@ -101,10 +101,13 @@ def bench_jobs_sweep(config, workloads, configs, jobs_levels):
     branches_total = config.num_branches * len(workloads) * len(configs)
     runs = []
     serial_seconds = None
+    mpki = None
     for jobs in jobs_levels:
-        seconds, runner = _timed_matrix(config, workloads, configs, jobs)
+        seconds, runner, table = _timed_matrix(config, workloads, configs, jobs)
         if serial_seconds is None:
             serial_seconds = seconds
+            # deterministic result identity for the ledger's digest alarm
+            mpki = {f"{w}/{c}": table[w][c].mpki for w in workloads for c in configs}
         row = {
             "jobs": jobs,
             "seconds": round(seconds, 3),
@@ -119,15 +122,15 @@ def bench_jobs_sweep(config, workloads, configs, jobs_levels):
             f"{branches_total / seconds / 1e3:8.1f} kbranch/s  "
             f"speedup x{serial_seconds / seconds:.2f}"
         )
-    return runs
+    return runs, mpki
 
 
 def bench_cache(config, workloads, configs):
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
-        cold_seconds, cold_runner = _timed_matrix(
+        cold_seconds, cold_runner, _ = _timed_matrix(
             config, workloads, configs, jobs=1, cache=ResultCache(cache_dir)
         )
-        warm_seconds, warm_runner = _timed_matrix(
+        warm_seconds, warm_runner, _ = _timed_matrix(
             config, workloads, configs, jobs=1, cache=ResultCache(cache_dir)
         )
         assert warm_runner.sim_count == 0, "warm cache must perform zero simulations"
@@ -166,10 +169,10 @@ def bench_artifacts(config, workloads, configs):
     is the bundle-construction work the store amortises away.
     """
     with tempfile.TemporaryDirectory(prefix="repro-bench-artifacts-") as artifact_dir:
-        cold_seconds, cold_runner = _timed_matrix(
+        cold_seconds, cold_runner, _ = _timed_matrix(
             config, workloads, configs, jobs=1, artifacts=ArtifactStore(artifact_dir)
         )
-        warm_seconds, warm_runner = _timed_matrix(
+        warm_seconds, warm_runner, _ = _timed_matrix(
             config, workloads, configs, jobs=1, artifacts=ArtifactStore(artifact_dir)
         )
         assert warm_runner.bundle_builds == 0, "warm store must perform zero bundle builds"
@@ -409,6 +412,52 @@ def bench_distributed(config, workloads, configs):
     return section
 
 
+def append_ledger_record(directory, args, workloads, configs, matrix_runs, mpki, wall_seconds):
+    """Append this benchmark run to a run-history ledger (``--ledger``).
+
+    Bench records carry no embedded run report, which the regression
+    watchdog treats as a pure throughput measurement; the result digest
+    covers only the deterministic serial-run MPKI table, so a digest
+    flip really means the simulator's results changed.
+    """
+    from repro.obs.ledger import RunLedger, matrix_digest, result_digest
+    from repro.obs.regress import check_and_update
+
+    identity = [
+        "bench-throughput|%s|%s|%d|%d" % (workload, name, args.branches, args.scale)
+        for workload in workloads
+        for name in configs
+    ]
+    record = {
+        "source": "bench",
+        "context": {"benchmark": "throughput", "jobs": args.jobs},
+        "workloads": workloads,
+        "configs": configs,
+        "backend": "bench-throughput",
+        "branches": args.branches * len(workloads) * len(configs),
+        "scale": args.scale,
+        "matrix_digest": matrix_digest(identity),
+        "result_digest": result_digest([mpki or {}]),
+        "cells": len(identity),
+        "cache_hit_rate": 0.0,
+        "retries": 0,
+        "wall_seconds": round(wall_seconds, 3),
+        "cpu_seconds": round(time.process_time(), 3),
+        "branches_per_sec": float(matrix_runs[0]["branches_per_second"]),
+    }
+    ledger = RunLedger(directory)
+    ledger.prepare(record)
+    flags = check_and_update(ledger.directory, record)
+    ledger.append(record)
+    for flag in flags:
+        print(
+            "regression [%s/%s]: %s"
+            % (flag.get("severity"), flag.get("kind"), flag.get("detail")),
+            file=sys.stderr,
+        )
+    print(f"ledger record appended to {directory}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--workloads", default=DEFAULT_WORKLOADS, help="comma-separated")
@@ -425,6 +474,14 @@ def main(argv=None) -> int:
         default=None,
         help="metrics.json with store-health gauges (default: metrics.json beside --output)",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="append this run to the run-history ledger at DIR (same store "
+        "`repro history` reads; the regression watchdog checks it against "
+        "the rolling bench baseline)",
+    )
     args = parser.parse_args(argv)
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
@@ -436,7 +493,8 @@ def main(argv=None) -> int:
         f"matrix: {len(workloads)} workloads x {len(configs)} configs, "
         f"{args.branches} branches each, cpu_count={os.cpu_count()}"
     )
-    matrix_runs = bench_jobs_sweep(config, workloads, configs, jobs_levels)
+    bench_start = time.perf_counter()
+    matrix_runs, serial_mpki = bench_jobs_sweep(config, workloads, configs, jobs_levels)
     cache_stats = bench_cache(config, workloads, configs)
     artifact_stats = bench_artifacts(config, workloads, configs)
     backend_stats = bench_backends(config, workloads, configs)
@@ -508,6 +566,17 @@ def main(argv=None) -> int:
     metrics = obs.merge_snapshots([obs.registry().snapshot()])
     metrics_path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
     print(f"wrote {metrics_path}")
+
+    if args.ledger:
+        append_ledger_record(
+            args.ledger,
+            args,
+            workloads,
+            configs,
+            matrix_runs,
+            serial_mpki,
+            time.perf_counter() - bench_start,
+        )
     return 0
 
 

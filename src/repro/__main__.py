@@ -8,6 +8,8 @@ Commands:
 * ``submit``     -- submit a matrix to a running daemon (``--wait`` to block)
 * ``status``     -- query a running daemon's health / job states
 * ``obs-report`` -- render a merged telemetry run (spans, metrics, faults)
+* ``obs-compact`` -- roll dead processes' telemetry files into merged segments
+* ``history``    -- inspect the run-history ledger (list/show/diff/regressions)
 * ``list``       -- show known workloads and predictor configurations
 
 Examples::
@@ -52,6 +54,15 @@ metrics, and fault events into per-process files under DIR (workers
 included; ``--sample-interval N`` additionally samples predictor
 internals every N branches).  ``--metrics-out PATH`` writes the merged
 metrics snapshot as JSON; ``obs-report DIR`` renders a recorded run.
+
+Run history: every cached run (``--cache-dir``) appends one record to
+the ledger at ``<cache-dir>/.ledger`` -- digests, timings, throughput,
+the full run report, and a merged metrics snapshot -- and a regression
+watchdog compares it against a rolling per-(matrix, backend, host)
+baseline, flagging throughput/cache/retry regressions and any
+result-digest change (a correctness alarm).  ``repro history list``
+shows the records, ``show`` dumps one, ``diff`` compares two, and
+``regressions`` lists flagged runs (exit 1 if any).
 """
 
 from __future__ import annotations
@@ -59,6 +70,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List
 
@@ -149,6 +161,8 @@ def _make_runner(args: argparse.Namespace) -> Runner:
         else:
             runner.coop = CoopScheduler(ledger)
         logger.info("joined multi-host run as %s (ledger: %s)", ledger.host_id, ledger.root)
+    if runner.ledger is not None:
+        runner.ledger_context["source"] = "cli"
     return runner
 
 
@@ -233,6 +247,14 @@ def _finish_run(args: argparse.Namespace, runner: Runner) -> None:
             handle.write("\n")
         logger.info("run report written to %s", report_path)
     obs.emit_event("run-end", totals=runner.report.totals())
+    # harnesses driving run_cells directly (the `report` figures) never
+    # hit run_matrix's automatic ledger append; record the whole session
+    # as one history entry instead (no-op if something appended already)
+    runner.ledger_append_session(
+        max(0.0, time.time() - runner.report.started_at),
+        time.process_time(),
+        context={"command": getattr(args, "command", "") or ""},
+    )
     metrics_path = getattr(args, "metrics_out", None)
     if metrics_path:
         _write_metrics(metrics_path)
@@ -255,6 +277,159 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
         return 1
     print(obs.render_report(directory, top=args.top))
     return 0
+
+
+def cmd_obs_compact(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"telemetry directory not found: {directory}", file=sys.stderr)
+        return 1
+    stats = obs.compact_events(directory)
+    print(
+        "compacted %d event file(s) (%d events) and %d metrics file(s) into merged segments"
+        % (stats["event_files"], stats["events"], stats["metrics_files"])
+    )
+    return 0
+
+
+def _ledger_dir(args: argparse.Namespace) -> Path:
+    from repro.obs.ledger import LEDGER_DIRNAME
+
+    if getattr(args, "ledger", None):
+        return Path(args.ledger)
+    if getattr(args, "cache_dir", None):
+        return Path(args.cache_dir) / LEDGER_DIRNAME
+    print("history requires --ledger DIR or --cache-dir DIR", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _history_line(record: dict) -> str:
+    ts = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(record.get("ts", 0.0))))
+    flags = record.get("regressions") or []
+    flag_note = "  !! " + ",".join(str(f.get("kind")) for f in flags) if flags else ""
+    return (
+        "%s  %s  %-7s %-9s %3d cells  hit %3d%%  %10.0f bps  %s/%s%s"
+        % (
+            record.get("run_id", "?"),
+            ts,
+            str(record.get("source", "?")),
+            str(record.get("backend", "?")),
+            int(record.get("cells", 0)),
+            round(100.0 * float(record.get("cache_hit_rate", 0.0))),
+            float(record.get("branches_per_sec", 0.0)),
+            record.get("matrix_digest", "?"),
+            record.get("result_digest", "?"),
+            flag_note,
+        )
+    )
+
+
+def _history_diff(old: dict, new: dict) -> List[str]:
+    """Field-by-field comparison lines of two ledger records."""
+    lines = [
+        "diff %s (%s) -> %s (%s)"
+        % (
+            old.get("run_id", "?"),
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(old.get("ts", 0.0)))),
+            new.get("run_id", "?"),
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(new.get("ts", 0.0)))),
+        )
+    ]
+    fields = (
+        "source", "backend", "workloads", "configs", "cells", "branches", "scale",
+        "matrix_digest", "result_digest", "cache_hit_rate", "retries",
+        "wall_seconds", "cpu_seconds", "branches_per_sec",
+    )
+    for field in fields:
+        before, after = old.get(field), new.get(field)
+        marker = " " if before == after else "*"
+        lines.append(f"  {marker} {field:<17} {before!r:>24} -> {after!r}")
+    if old.get("matrix_digest") == new.get("matrix_digest"):
+        if old.get("result_digest") != new.get("result_digest"):
+            lines.append(
+                "  !! result digest changed on an identical matrix -- results are "
+                "no longer bit-identical (correctness alarm)"
+            )
+        else:
+            lines.append("  == identical matrix, identical results")
+    else:
+        lines.append("  (different matrices -- digest comparison not meaningful)")
+    return lines
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.regress import flagged_records
+
+    ledger = RunLedger(_ledger_dir(args))
+    records = ledger.records()
+    action = args.action
+
+    if action == "list":
+        shown = records[-args.limit:] if args.limit else records
+        if args.json:
+            print(json.dumps(shown, indent=2, sort_keys=True))
+            return 0
+        if not shown:
+            print("ledger is empty")
+            return 0
+        for record in shown:
+            print(_history_line(record))
+        if args.trend:
+            print()
+            print(obs.render_trend(shown))
+        return 0
+
+    if action == "show":
+        try:
+            record = ledger.get(args.run_id)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+
+    if action == "diff":
+        try:
+            if args.run_id and args.run_id_b:
+                old, new = ledger.get(args.run_id), ledger.get(args.run_id_b)
+            elif args.run_id:
+                if not records:
+                    print("ledger is empty", file=sys.stderr)
+                    return 1
+                old, new = ledger.get(args.run_id), records[-1]
+            else:
+                if len(records) < 2:
+                    print("history diff needs two records (ledger has fewer)", file=sys.stderr)
+                    return 1
+                old, new = records[-2], records[-1]
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps({"old": old, "new": new}, indent=2, sort_keys=True))
+        else:
+            print("\n".join(_history_diff(old, new)))
+        return 0
+
+    if action == "regressions":
+        flagged = flagged_records(records)
+        shown = flagged[-args.limit:] if args.limit else flagged
+        if args.json:
+            print(json.dumps(shown, indent=2, sort_keys=True))
+        elif not shown:
+            print("no flagged runs (%d records checked)" % len(records))
+        else:
+            for record in shown:
+                print(_history_line(record))
+                for flag in record.get("regressions") or []:
+                    print(
+                        "      [%s/%s] %s"
+                        % (flag.get("severity"), flag.get("kind"), flag.get("detail"))
+                    )
+        return 1 if flagged else 0
+
+    raise SystemExit(f"unknown history action {action!r}")  # pragma: no cover
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -682,6 +857,55 @@ def build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,
     )
     p_obs.set_defaults(func=cmd_obs_report)
+
+    p_compact = sub.add_parser(
+        "obs-compact",
+        help="merge telemetry files left behind by dead processes into rolled segments",
+    )
+    p_compact.add_argument("directory", help="telemetry/events directory to compact")
+    p_compact.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="warning",
+        help=argparse.SUPPRESS,
+    )
+    p_compact.set_defaults(func=cmd_obs_compact)
+
+    p_history = sub.add_parser(
+        "history", help="inspect the run-history ledger (list/show/diff/regressions)"
+    )
+    p_history.add_argument(
+        "action", choices=("list", "show", "diff", "regressions"),
+        help="list records, show one, diff two, or list regression-flagged runs",
+    )
+    p_history.add_argument(
+        "run_id", nargs="?", default=None,
+        help="run id (unique prefix accepted) for show/diff",
+    )
+    p_history.add_argument(
+        "run_id_b", nargs="?", default=None,
+        help="second run id for diff (default: the latest record)",
+    )
+    p_history.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger directory (default: <--cache-dir>/.ledger)",
+    )
+    p_history.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory whose .ledger subdirectory holds the history",
+    )
+    p_history.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="show only the newest N records (default: 0 = all)",
+    )
+    p_history.add_argument(
+        "--trend", action="store_true",
+        help="with list: append a per-(matrix, backend, host) throughput trend summary",
+    )
+    p_history.add_argument("--json", action="store_true", help="emit raw JSON records")
+    p_history.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default="warning",
+        help=argparse.SUPPRESS,
+    )
+    p_history.set_defaults(func=cmd_history)
     return parser
 
 

@@ -462,6 +462,10 @@ def run_cells_parallel(
     #: (task index, earliest re-dispatch time) -- backoff lives here
     pending: Deque[Tuple[int, float]] = deque((i, 0.0) for i in range(len(ordered)))
     inflight: Dict[Future, Tuple[int, Optional[float]]] = {}
+    #: submission time per in-flight future, feeding the queue-to-done
+    #: latency histogram (dispatch wait + execution, the figure the
+    #: scheduler's cost model is trying to predict)
+    submit_ts: Dict[Future, float] = {}
     pool: Optional[ProcessPoolExecutor] = None
     consecutive_breaks = 0
     fallback = False
@@ -538,6 +542,7 @@ def run_cells_parallel(
         )
         indices = [index for index, _ in inflight.values()]
         inflight.clear()
+        submit_ts.clear()
         if pool is not None:
             _shutdown_pool(pool, kill=True)
             pool = None
@@ -628,6 +633,7 @@ def run_cells_parallel(
                         report.record_attempt(workload, name, overrides)
                 deadline = now + policy.timeout if policy.timeout is not None else None
                 inflight[future] = (index, deadline)
+                submit_ts[future] = now
             if submit_broke is not None:
                 handle_break(submit_broke)
                 continue
@@ -651,6 +657,7 @@ def run_cells_parallel(
             broke: Optional[str] = None
             for future in done:
                 index, _ = inflight.pop(future)
+                started = submit_ts.pop(future, None)
                 try:
                     records = future.result()
                 except BrokenProcessPool as exc:
@@ -662,6 +669,10 @@ def run_cells_parallel(
                     charge(index, "exception", repr(exc))
                 else:
                     consecutive_breaks = 0
+                    if started is not None:
+                        obs_registry().histogram("parallel.task.seconds").observe(
+                            time.monotonic() - started
+                        )
                     for pair in succeed(index, records):
                         yield pair
             if broke is not None:
@@ -700,6 +711,7 @@ def run_cells_parallel(
                     for future, (index, _) in list(inflight.items()):
                         interrupt(index)
                     inflight.clear()
+                    submit_ts.clear()
                     _shutdown_pool(pool, kill=True)
                     pool = None
     except (KeyboardInterrupt, GeneratorExit):

@@ -264,6 +264,7 @@ class RunReport:
         """
         data: Dict[str, object] = {
             "version": REPORT_FORMAT_VERSION,
+            "started_at": self.started_at,
             "cells": [entry.to_dict() for entry in self.cells()],
             "totals": self.totals(),
             "pool_rebuilds": self.pool_rebuilds,

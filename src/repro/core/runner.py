@@ -25,7 +25,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.artifacts import ArtifactStore
 from repro.core.run_report import RunReport
+from repro.obs.log import get_logger
 from repro.obs.metrics import registry as obs_registry
+from repro.obs.telemetry import emit_event
 from repro.obs.spans import span
 from repro.obs.telemetry import flush as obs_flush
 from repro.obs.telemetry import worker_config as obs_worker_config
@@ -48,6 +50,8 @@ from repro.core.simulator import (
 from repro.llbp import LLBP, LLBPX, ContextStreams, llbp_default, llbpx_default
 from repro.tage import TageConfig, TageSCL, TraceTensors, preset_by_name, tsl_64k
 from repro.traces import Trace, generate_workload
+
+logger = get_logger("runner")
 
 #: default capacity scale of the scaled universe (DESIGN.md §1)
 DEFAULT_SCALE = 8
@@ -118,6 +122,7 @@ class Runner:
         artifacts: Optional[ArtifactStore] = None,
         retry_policy: Optional["RetryPolicy"] = None,
         backend: Optional[str] = None,
+        ledger: Optional[object] = None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.cache = cache
@@ -143,6 +148,22 @@ class Runner:
         self._bundles: Dict[Tuple[str, int, Optional[int]], WorkloadBundle] = {}
         self._results: Dict[ResultKey, SimulationResult] = {}
         self._timings: Optional[TimingStore] = None
+        #: run ledger every run_matrix appends one record to.  ``None``
+        #: with a cache attached auto-creates <cache-dir>/.ledger (the
+        #: longitudinal history rides the same shared directory as the
+        #: results it describes); ``False`` disables; an instance is used
+        #: as-is.  No cache and no explicit ledger -> no history, which
+        #: keeps cache-less hot-path benchmarks free of any ledger I/O.
+        if ledger is None and cache is not None:
+            from repro.obs.ledger import LEDGER_DIRNAME, RunLedger
+
+            ledger = RunLedger(cache.cache_dir / LEDGER_DIRNAME)
+        self.ledger = ledger or None
+        #: labels stamped into ledger records ("source", service job id,
+        #: tenant, ...); the CLI and daemon fill these before running
+        self.ledger_context: Dict[str, object] = {}
+        #: records this runner appended (the CLI's fallback-append guard)
+        self.ledger_appends = 0
 
     def timing_store(self) -> TimingStore:
         """Observed-cell-timing store feeding the parallel cost model.
@@ -564,6 +585,92 @@ class Runner:
             if release_bundles:
                 self.release(workload)
 
+    def ledger_append(
+        self,
+        cells: Sequence[Cell],
+        results: Sequence[SimulationResult],
+        wall_seconds: float,
+        cpu_seconds: float,
+    ) -> None:
+        """Append one run record to the attached ledger (no-op without one).
+
+        The watchdog checks the record against its rolling baseline
+        *before* folding it in, so flags compare against pre-regression
+        history; flags are persisted inside the record and surfaced as a
+        warning + ``run-regression`` event.  History is strictly
+        best-effort: a ledger failure must never fail the run itself.
+        """
+        if self.ledger is None or not cells:
+            return
+        try:
+            from repro.obs.ledger import build_run_record
+
+            record = build_run_record(
+                self,
+                cells,
+                results,
+                wall_seconds,
+                cpu_seconds,
+                source=str(self.ledger_context.get("source", "api")),
+                context={k: v for k, v in self.ledger_context.items() if k != "source"},
+            )
+            self._ledger_commit(record)
+        except Exception:  # noqa: BLE001 - history must not break the run
+            logger.exception("ledger append failed (run results are unaffected)")
+
+    def ledger_append_session(
+        self, wall_seconds: float, cpu_seconds: float, context: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Session-level fallback append for ``run_cells``-driving harnesses.
+
+        ``repro report`` figures call experiment functions that may never
+        pass through :meth:`run_matrix`; the CLI calls this at the end of
+        the command, and it appends one record covering the whole session
+        (identity derived from the run report's cell set and the result
+        memo) -- but only if nothing was appended already, so a matrix
+        run is never double-counted.  Best-effort like the regular path.
+        """
+        if self.ledger is None or self.ledger_appends or not self.report.cells():
+            return
+        try:
+            from repro.obs.ledger import build_session_record
+
+            merged = {k: v for k, v in self.ledger_context.items() if k != "source"}
+            merged.update(context or {})
+            record = build_session_record(
+                self,
+                wall_seconds,
+                cpu_seconds,
+                source=str(self.ledger_context.get("source", "api")),
+                context=merged,
+            )
+            self._ledger_commit(record)
+        except Exception:  # noqa: BLE001 - history must not break the run
+            logger.exception("session ledger append failed (run results are unaffected)")
+
+    def _ledger_commit(self, record: Dict[str, object]) -> None:
+        """Check against the rolling baseline, persist, surface any flags."""
+        from repro.obs.regress import check_and_update
+
+        self.ledger.prepare(record)
+        flags = check_and_update(self.ledger.directory, record)
+        self.ledger.append(record)
+        self.ledger_appends += 1
+        for flag in flags:
+            logger.warning(
+                "regression [%s/%s] run %s: %s",
+                flag.get("severity"),
+                flag.get("kind"),
+                record.get("run_id"),
+                flag.get("detail"),
+            )
+        if flags:
+            emit_event(
+                "run-regression",
+                run_id=record.get("run_id"),
+                kinds=[flag.get("kind") for flag in flags],
+            )
+
     def run_matrix(
         self,
         workloads: Sequence[str],
@@ -580,10 +687,22 @@ class Runner:
         soon as all its configurations finished, bounding memory.
         ``jobs > 1`` distributes uncached workloads over a process pool;
         results are bit-identical to the serial path.
+
+        Every completed matrix appends one record to the attached run
+        ledger (wall/CPU timings, digests, report, metrics) -- one write
+        per run, nothing per cell or per branch.
         """
         cells: List[Cell] = [(workload, name, {}) for workload in workloads for name in names]
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
         results = self.run_cells(
             cells, jobs=jobs, release_bundles=release_bundles, progress=progress, backend=backend
+        )
+        self.ledger_append(
+            cells,
+            results,
+            time.perf_counter() - wall_start,
+            time.process_time() - cpu_start,
         )
         table: Dict[str, Dict[str, SimulationResult]] = {workload: {} for workload in workloads}
         for (workload, name, _), result in zip(cells, results):

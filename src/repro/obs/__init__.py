@@ -34,7 +34,8 @@ vars) and re-initialise per-pid sinks on first use, so ``fork`` and
 ``python -m repro obs-report DIR`` renders a merged run.
 """
 
-from repro.obs.events import EventSink, read_events
+from repro.obs.events import EventSink, compact_events, read_events
+from repro.obs.ledger import RunLedger, build_run_record
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -43,8 +44,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
     registry,
+    to_prometheus,
 )
-from repro.obs.report import load_run, render_report
+from repro.obs.regress import check_and_update, flagged_records
+from repro.obs.report import load_run, render_report, render_trend
 from repro.obs.sampling import Sampler, active_sampler
 from repro.obs.spans import span
 from repro.obs.telemetry import (
@@ -66,10 +69,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunLedger",
     "Sampler",
     "Telemetry",
     "active_sampler",
+    "build_run_record",
+    "check_and_update",
+    "compact_events",
     "configure",
+    "flagged_records",
+    "to_prometheus",
     "configure_logging",
     "current",
     "emit_event",
@@ -83,6 +92,7 @@ __all__ = [
     "read_events",
     "registry",
     "render_report",
+    "render_trend",
     "shutdown",
     "span",
     "worker_config",

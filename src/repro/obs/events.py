@@ -16,10 +16,15 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
-__all__ = ["EventSink", "read_events"]
+__all__ = ["EventSink", "compact_events", "read_events"]
 
 EVENT_FILE_PREFIX = "events-"
 EVENT_FILE_SUFFIX = ".jsonl"
+
+#: rolled-segment token: ``events-merged.jsonl`` / ``metrics-merged.json``
+#: match the readers' globs but are never candidates for compaction
+#: themselves (their token is not a pid)
+MERGED_TOKEN = "merged"
 
 
 class EventSink:
@@ -52,6 +57,10 @@ class EventSink:
             self._closed = True
             if os.getpid() == self.pid:
                 self._fh.close()
+
+    def compact(self) -> Dict[str, int]:
+        """Roll dead-pid files in this sink's directory; see :func:`compact_events`."""
+        return compact_events(self.directory)
 
 
 def _iter_file(path: Path) -> Iterator[Dict[str, object]]:
@@ -96,3 +105,97 @@ def read_events(
             events.append(event)
     events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
     return events
+
+
+def _dead_pid_files(directory: Path, prefix: str, suffix: str) -> List[Path]:
+    """Per-pid files whose writer process is gone (never the caller's)."""
+    from repro.core.faults import pid_alive
+
+    dead: List[Path] = []
+    for path in sorted(directory.glob(prefix + "*" + suffix)):
+        token = path.name[len(prefix):][: -len(suffix)]
+        try:
+            pid = int(token)
+        except ValueError:
+            continue  # rolled segment or foreign file, never compacted
+        if pid != os.getpid() and not pid_alive(pid):
+            dead.append(path)
+    return dead
+
+
+def compact_events(directory: Union[str, Path]) -> Dict[str, int]:
+    """Merge dead-pid telemetry files into rolled segments.
+
+    A long-lived daemon accumulates one ``events-<pid>.jsonl`` and one
+    ``metrics-<pid>.json`` per job-runner worker process; once the
+    writer is dead its files are frozen, so they can be folded into a
+    single ``events-merged.jsonl`` (events re-emitted in timestamp
+    order, torn tails dropped) and ``metrics-merged.json`` (snapshot
+    merge: counters/histograms sum, gauges last-writer) and deleted.
+    Readers need no migration -- the rolled names match the same globs
+    ``read_events``/``merged_metrics`` already scan.
+
+    Only files of provably dead pids are touched (``pid_alive``), never
+    the calling process's own, so compaction is safe to run while a
+    service is serving.  Returns counts for the CLI/startup log line.
+    """
+    directory = Path(directory)
+    stats = {"event_files": 0, "events": 0, "metrics_files": 0}
+    if not directory.is_dir():
+        return stats
+
+    merged_events = directory / (EVENT_FILE_PREFIX + MERGED_TOKEN + EVENT_FILE_SUFFIX)
+    dead = _dead_pid_files(directory, EVENT_FILE_PREFIX, EVENT_FILE_SUFFIX)
+    if dead:
+        events: List[Dict[str, object]] = []
+        for path in dead:
+            events.extend(_iter_file(path))
+        events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
+        with open(merged_events, "a", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+            fh.flush()
+        for path in dead:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        stats["event_files"] = len(dead)
+        stats["events"] = len(events)
+
+    # metrics snapshots: fold dead-pid files into the rolled snapshot
+    # (import here: telemetry imports this module at load time)
+    from repro.obs.metrics import merge_snapshots
+
+    metrics_prefix, metrics_suffix = "metrics-", ".json"
+    merged_metrics_path = directory / (metrics_prefix + MERGED_TOKEN + metrics_suffix)
+    dead = _dead_pid_files(directory, metrics_prefix, metrics_suffix)
+    if dead:
+        snapshots: List[Dict[str, object]] = []
+        try:
+            existing = json.loads(merged_metrics_path.read_text())
+            if isinstance(existing, dict):
+                snapshots.append(existing)
+        except (OSError, ValueError):
+            pass
+        for path in dead:
+            try:
+                snap = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(snap, dict):
+                snapshots.append(snap)
+        merged = merge_snapshots(snapshots)
+        tmp = merged_metrics_path.with_name(merged_metrics_path.name + ".tmp.%d" % os.getpid())
+        try:
+            tmp.write_text(json.dumps(merged, sort_keys=True))
+            os.replace(tmp, merged_metrics_path)
+        except OSError:
+            return stats  # keep sources: nothing was durably merged
+        for path in dead:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        stats["metrics_files"] = len(dead)
+    return stats

@@ -14,7 +14,7 @@ from repro.obs.events import read_events
 from repro.obs.metrics import Histogram
 from repro.obs.telemetry import merged_metrics
 
-__all__ = ["load_run", "render_report"]
+__all__ = ["load_run", "render_report", "render_trend"]
 
 # Event types that belong on the fault/retry timeline.  ``cell-success``
 # is included only for cells that previously failed or were interrupted,
@@ -247,3 +247,44 @@ def _fmt_num(value: float) -> str:
     if float(value).is_integer():
         return "%d" % int(value)
     return "%.6g" % value
+
+
+def render_trend(records: List[Dict[str, object]], limit: int = 8) -> str:
+    """Longitudinal trend lines over ledger records (``repro history``).
+
+    Records are grouped by baseline identity (matrix digest, backend,
+    host); each group renders its recent branches/sec series with the
+    delta of the newest run against the group mean, plus a count of
+    flagged runs -- the at-a-glance answer to "has this matrix gotten
+    slower since last week?".
+    """
+    groups: Dict[tuple, List[Dict[str, object]]] = {}
+    for record in records:
+        key = (
+            str(record.get("matrix_digest", "")),
+            str(record.get("backend", "")),
+            str(record.get("host", "")),
+        )
+        groups.setdefault(key, []).append(record)
+    lines: List[str] = ["throughput trend (branches/sec, oldest -> newest):"]
+    if not groups:
+        lines.append("  (no runs recorded)")
+        return "\n".join(lines)
+    for key in sorted(groups):
+        matrix, backend, host = key
+        series = [float(r.get("branches_per_sec", 0.0) or 0.0) for r in groups[key]]
+        measured = [bps for bps in series if bps > 0]
+        flagged = sum(1 for r in groups[key] if r.get("regressions"))
+        label = "%s %s@%s" % (matrix[:12], backend or "?", host or "?")
+        if not measured:
+            lines.append("  %-40s %d run(s), all cached" % (label, len(series)))
+            continue
+        mean = sum(measured) / len(measured)
+        latest = measured[-1]
+        delta = 100.0 * (latest - mean) / mean if mean else 0.0
+        tail = " ".join(_fmt_num(round(bps)) for bps in measured[-limit:])
+        line = "  %-40s %s  (latest %+.1f%% vs mean)" % (label, tail, delta)
+        if flagged:
+            line += "  [%d flagged]" % flagged
+        lines.append(line)
+    return "\n".join(lines)

@@ -73,6 +73,8 @@ class ServiceClient:
             raise ServiceError(response.status, message)
         if "x-ndjson" in content_type:
             return [json.loads(line) for line in raw.splitlines() if line.strip()]
+        if "text/plain" in content_type:
+            return raw  # e.g. /metrics Prometheus exposition text
         return json.loads(raw) if raw.strip() else None
 
     # -- endpoints ----------------------------------------------------------
@@ -100,6 +102,14 @@ class ServiceClient:
         return self._request(
             "GET", f"/jobs/{job_id}/events?{query}", timeout=self.timeout + wait
         )
+
+    def progress(self, job_id: str) -> Dict[str, object]:
+        """Cells done/total, current throughput, and cost-model ETA."""
+        return self._request("GET", f"/jobs/{job_id}/progress")
+
+    def metrics(self) -> str:
+        """The daemon's /metrics payload (Prometheus text format)."""
+        return self._request("GET", "/metrics")
 
     def result(self, digest: str) -> SimulationResult:
         return result_from_dict(self._request("GET", f"/results/{digest}"))

@@ -24,17 +24,20 @@ releases any unfinished multi-host claims, exactly like a Ctrl-C.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.artifacts import ArtifactStore
 from repro.core.parallel import RetryPolicy
-from repro.core.results_io import ResultCache
+from repro.core.results_io import TIMINGS_FILENAME, ResultCache, TimingStore
 from repro.core.runner import DEFAULT_BRANCHES, DEFAULT_SCALE, Runner, RunnerConfig
 from repro.core.simulator import SimulationResult, resolve_backend
-from repro.obs.events import EventSink
+from repro.obs.events import EventSink, compact_events
+from repro.obs.ledger import LEDGER_DIRNAME, RunLedger
 from repro.obs.log import get_logger
+from repro.obs.metrics import registry as obs_registry
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -79,6 +82,7 @@ class ExperimentService:
             self.cache.cache_dir / SERVICE_EVENTS_DIRNAME
         )
         self.sink = EventSink(self.events_dir)
+        self.ledger = RunLedger(self.cache.cache_dir / LEDGER_DIRNAME)
         self.default_branches = int(branches)
         self.default_scale = int(scale)
         self.default_backend = resolve_backend(backend)
@@ -90,6 +94,9 @@ class ExperimentService:
         self.host_id = host_id
         self.claim_batch = claim_batch
         self.jobs_done = 0
+        self.started_at: Optional[float] = None
+        #: drain-thread seconds spent executing jobs (utilization gauge)
+        self.busy_seconds = 0.0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -98,9 +105,26 @@ class ExperimentService:
     def start(self) -> None:
         if self._thread is not None:
             return
+        self.started_at = time.time()
+        # event-dir hygiene: roll the per-pid files of dead past runners
+        # into merged segments before this incarnation adds its own
+        try:
+            compacted = compact_events(self.events_dir)
+        except Exception:  # noqa: BLE001 - hygiene must not block startup
+            compacted = {}
+        # registering the uptime gauge up front makes it visible on the
+        # very first /metrics scrape, before any snapshot refresh ran
+        obs_registry().gauge("service.uptime.seconds").set(0.0)
         self._thread = threading.Thread(target=self._drain, name="repro-service", daemon=True)
         self._thread.start()
-        self.sink.emit("service-start", events_dir=str(self.events_dir))
+        self.sink.emit("service-start", events_dir=str(self.events_dir), compacted=compacted)
+        if compacted.get("event_files") or compacted.get("metrics_files"):
+            logger.info(
+                "compacted %d dead event file(s), %d metrics file(s) in %s",
+                compacted.get("event_files", 0),
+                compacted.get("metrics_files", 0),
+                self.events_dir,
+            )
 
     def stop(self) -> None:
         self._stop.set()
@@ -150,6 +174,7 @@ class ExperimentService:
             artifacts=self.artifacts,
             retry_policy=self.retry_policy,
             backend=spec.backend,
+            ledger=self.ledger,
         )
         if self.join:
             from repro.core.sched import HOSTS_DIRNAME, CoopScheduler, HostLedger
@@ -165,7 +190,13 @@ class ExperimentService:
     def _execute(self, job: Job) -> None:
         spec = job.spec
         self.sink.emit("job-start", job=job.id, tenant=spec.tenant)
+        if job.started_at is not None:
+            obs_registry().histogram("jobs.wait.seconds").observe(
+                max(0.0, job.started_at - job.created_at)
+            )
+        exec_start = time.monotonic()
         runner = self._runner_for(spec)
+        runner.ledger_context.update({"source": "service", "job": job.id, "tenant": spec.tenant})
         job.cells = [
             {"workload": workload, "config": config, "digest": runner.digest(workload, config)}
             for workload in spec.workloads
@@ -175,6 +206,7 @@ class ExperimentService:
         def progress(workload: str, config: str, result: SimulationResult) -> None:
             if job.cancel_requested:
                 raise JobCancelled(job.id)
+            job.cells_done += 1
             self.sink.emit(
                 "job-cell",
                 job=job.id,
@@ -202,6 +234,9 @@ class ExperimentService:
             state, error = FAILED, f"{type(exc).__name__}: {exc}"
             logger.error("%s failed: %s\n%s", job.id, error, traceback.format_exc())
         job.report = runner.report.to_dict(runner)
+        exec_seconds = time.monotonic() - exec_start
+        self.busy_seconds += exec_seconds
+        obs_registry().histogram("jobs.exec.seconds").observe(exec_seconds)
         self.queue.finish(job, state, error)
         self.jobs_done += 1
         self.sink.emit(
@@ -231,14 +266,86 @@ class ExperimentService:
     def result(self, digest: str) -> Optional[SimulationResult]:
         return self.cache.get(digest)
 
+    def uptime(self) -> float:
+        return max(0.0, time.time() - self.started_at) if self.started_at else 0.0
+
     def stats(self) -> Dict[str, object]:
-        states: Dict[str, int] = {}
-        for job in self.queue.jobs():
-            states[job.state] = states.get(job.state, 0) + 1
+        """The ``/healthz`` payload: liveness *and* readiness figures."""
         return {
             "ok": True,
-            "jobs": states,
+            "jobs": self.queue.by_state(),
             "jobs_done": self.jobs_done,
+            "queue_depth": self.queue.depth(),
+            "uptime_seconds": round(self.uptime(), 3),
+            "ledger_records": self.ledger.count(),
             "cache": self.cache.stats(),
             "events_dir": str(self.events_dir),
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Registry snapshot with the service-level gauges refreshed.
+
+        Gauges are point-in-time and pull-refreshed on every scrape; the
+        job wait/exec histograms and all runner counters were populated
+        by the drain thread as work happened (the registry is shared --
+        one per process, thread-safe).  Per-tenant queued/running gauges
+        embed Prometheus labels in the instrument name, which
+        :func:`repro.obs.metrics.to_prometheus` passes through verbatim.
+        """
+        registry = obs_registry()
+        uptime = self.uptime()
+        registry.gauge("service.uptime.seconds").set(uptime)
+        registry.gauge("jobs.queue_depth").set(float(self.queue.depth()))
+        registry.gauge("service.jobs_done").set(float(self.jobs_done))
+        registry.gauge("service.ledger_records").set(float(self.ledger.count()))
+        registry.gauge("service.drain.utilization").set(
+            self.busy_seconds / uptime if uptime > 0 else 0.0
+        )
+        for tenant, counts in sorted(self.queue.by_tenant().items()):
+            for state, value in sorted(counts.items()):
+                name = 'jobs.tenant{tenant="%s",state="%s"}' % (tenant, state)
+                registry.gauge(name).set(float(value))
+        return registry.snapshot()
+
+    def progress_of(self, job: Job) -> Dict[str, object]:
+        """Live progress of one job: cells done/total, throughput, ETA.
+
+        Throughput is branches resolved per wall second so far; the ETA
+        sums the learned cost model's estimates for the remaining cells
+        (matrix order approximates the unresolved set -- cells finish
+        out of order under parallelism, but the *count* remaining is
+        exact), scaled down by the job's worker parallelism.
+        """
+        spec = job.spec
+        total = len(job.cells) or len(spec.workloads) * len(spec.configs)
+        done = min(job.cells_done, total)
+        now = time.time()
+        elapsed = 0.0
+        if job.started_at is not None:
+            elapsed = max(0.0, (job.finished_at or now) - job.started_at)
+        throughput = (done * spec.branches / elapsed) if elapsed > 0 else 0.0
+        payload: Dict[str, object] = {
+            "id": job.id,
+            "state": job.state,
+            "cells_done": done,
+            "cells_total": total,
+            "elapsed_seconds": round(elapsed, 3),
+            "branches_per_sec": round(throughput, 2),
+            "eta_seconds": None,
+        }
+        if job.finished or job.started_at is None:
+            return payload
+        try:
+            from repro.core.costmodel import make_cost_model
+
+            model = make_cost_model(TimingStore(self.cache.cache_dir / TIMINGS_FILENAME))
+            remaining = job.cells[done:] if job.cells else []
+            estimate = sum(
+                model.estimate(cell["workload"], cell["config"], spec.branches, spec.backend)
+                for cell in remaining
+            )
+            payload["eta_seconds"] = round(estimate / max(1, spec.jobs), 3)
+            payload["cost_model"] = getattr(model, "kind", "heuristic")
+        except Exception:  # noqa: BLE001 - progress must never 500 a poll
+            pass
+        return payload

@@ -175,6 +175,8 @@ class Job:
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
     #: per-job progress-event counter (the events endpoint's cursor)
     events_emitted: int = 0
+    #: cells resolved so far (cache hits included) -- /jobs/<id>/progress
+    cells_done: int = 0
 
     @property
     def cancel_requested(self) -> bool:
@@ -198,6 +200,7 @@ class Job:
             "finished_at": self.finished_at,
             "error": self.error,
             "events_emitted": self.events_emitted,
+            "cells_done": self.cells_done,
         }
         if verbose:
             data["cells"] = list(self.cells)
@@ -293,6 +296,29 @@ class JobQueue:
     def active_count(self, tenant: str) -> int:
         with self._lock:
             return self._active.get(tenant, 0)
+
+    def depth(self) -> int:
+        """Jobs waiting to run (queued state, cancellations excluded)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == QUEUED)
+
+    def by_state(self) -> Dict[str, int]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return states
+
+    def by_tenant(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant queued/running counts (the /metrics tenant gauges)."""
+        with self._lock:
+            tenants: Dict[str, Dict[str, int]] = {}
+            for job in self._jobs.values():
+                if job.state not in (QUEUED, RUNNING):
+                    continue
+                entry = tenants.setdefault(job.spec.tenant, {"queued": 0, "running": 0})
+                entry[job.state] += 1
+            return tenants
 
     def wake(self) -> None:
         """Nudge a blocked ``pop`` (used by the daemon's shutdown)."""

@@ -69,14 +69,21 @@ _REASONS = {
 }
 
 
-def _response(status: int, body: bytes, content_type: str = "application/json") -> bytes:
+def _response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
-        "\r\n"
     )
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "\r\n"
     return head.encode("ascii") + body
 
 
@@ -166,6 +173,14 @@ class ServiceServer:
         if parts == ["healthz"] and method == "GET":
             return _json_response(200, self.service.stats())
 
+        if parts == ["metrics"] and method == "GET":
+            from repro.obs.metrics import to_prometheus
+
+            text = to_prometheus(self.service.metrics_snapshot())
+            return _response(
+                200, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+            )
+
         if parts == ["jobs"]:
             if method == "POST":
                 return self._submit(headers, body)
@@ -189,6 +204,8 @@ class ServiceServer:
             if parts[2] == "cancel" and method == "POST":
                 self.service.cancel(job_id)
                 return _json_response(200, job.to_dict(verbose=False))
+            if parts[2] == "progress" and method == "GET":
+                return _json_response(200, self.service.progress_of(job))
             if parts[2] == "events" and method == "GET":
                 return await self._events(job_id, query)
             raise _HttpError(404, f"unknown endpoint /{'/'.join(parts)}")
@@ -215,7 +232,17 @@ class ServiceServer:
         return _json_response(201, job.to_dict(verbose=False))
 
     async def _events(self, job_id: str, query: Dict[str, list]) -> bytes:
-        """JSONL progress events with ``seq > after``; long-poll up to ``wait``."""
+        """JSONL progress events with ``seq > after``; long-poll up to ``wait``.
+
+        A request against a job already in a terminal state returns
+        immediately -- empty body, current cursor in ``X-Repro-Cursor``
+        -- instead of sleeping out the wait: no further events can ever
+        arrive, so there is nothing to poll for.  Live jobs poll the
+        event files until new events appear, the job finishes, or the
+        deadline lapses; the cursor header always reports the highest
+        sequence the client has now seen, ready to be echoed as
+        ``after`` on the next poll.
+        """
         try:
             after = int(query.get("after", ["0"])[0])
             wait = min(MAX_EVENT_WAIT, float(query.get("wait", ["0"])[0]))
@@ -226,14 +253,33 @@ class ServiceServer:
             events = read_events(self.service.events_dir, where={"job": job_id})
             return [event for event in events if int(event.get("seq", 0) or 0) > after]
 
-        deadline = asyncio.get_running_loop().time() + wait
+        def _respond(events: list, job) -> bytes:
+            cursor = max(
+                [after]
+                + [int(event.get("seq", 0) or 0) for event in events]
+                + ([job.events_emitted] if job is not None and job.finished else [])
+            )
+            lines = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+            return _response(
+                200,
+                lines.encode("utf-8"),
+                "application/x-ndjson",
+                extra_headers={"X-Repro-Cursor": str(cursor)},
+            )
+
+        loop = asyncio.get_running_loop()
+        job = self.service.job(job_id)
+        if job is None or job.finished:
+            # terminal fast-path: serve whatever is past the cursor (one
+            # cheap read) and return -- never enter the poll loop
+            return _respond(await asyncio.to_thread(_read), job)
+        deadline = loop.time() + wait
         while True:
             events = await asyncio.to_thread(_read)
             job = self.service.job(job_id)
             finished = job is None or job.finished
-            if events or finished or asyncio.get_running_loop().time() >= deadline:
-                lines = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
-                return _response(200, lines.encode("utf-8"), "application/x-ndjson")
+            if events or finished or loop.time() >= deadline:
+                return _respond(events, job)
             await asyncio.sleep(EVENT_POLL_INTERVAL)
 
     # -- lifecycle ----------------------------------------------------------

@@ -8,7 +8,9 @@ instead of racing a timer).
 
 import http.client
 import json
+import os
 import threading
+import time
 
 import pytest
 
@@ -183,6 +185,170 @@ def test_quota_rejects_with_429_until_released(tmp_path):
     finally:
         hold.set()
         srv.stop_background()
+
+
+def test_healthz_reports_observability_fields(server, client):
+    health = client.health()
+    assert health["ok"] is True
+    assert health["queue_depth"] >= 0
+    assert isinstance(health["jobs"], dict)
+    assert health["uptime_seconds"] > 0
+    before = health["ledger_records"]
+
+    job = client.submit({"workloads": ["kafka"], "configs": ["tsl_8k"]})
+    final = client.wait(job["id"], timeout=300)
+    assert final["state"] == "done"
+    assert final["cells_done"] == 1
+
+    after = client.health()
+    assert after["ledger_records"] == before + 1
+    assert after["jobs"].get("done", 0) >= 1
+
+
+def test_service_jobs_append_ledger_records(server, client):
+    before = server.service.ledger.count()
+    job = client.submit({"workloads": ["chirper"], "configs": ["tsl_8k"]})
+    final = client.wait(job["id"], timeout=300)
+    assert final["state"] == "done"
+    record = server.service.ledger.records()[-1]
+    assert server.service.ledger.count() == before + 1
+    assert record["source"] == "service"
+    assert record["context"]["job"] == job["id"]
+    assert record["context"]["tenant"] == "default"
+    assert record["report"]["totals"]["cells"] == 1
+
+
+def test_progress_endpoint(server, client):
+    job = client.submit({"workloads": ["kafka"], "configs": CONFIGS})
+    final = client.wait(job["id"], timeout=300)
+    assert final["state"] == "done"
+    progress = client.progress(job["id"])
+    assert progress["state"] == "done"
+    assert progress["cells_done"] == progress["cells_total"] == len(CONFIGS)
+    assert progress["eta_seconds"] is None
+    assert progress["branches_per_sec"] > 0
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.progress("job-999999")
+    assert excinfo.value.status == 404
+
+
+def test_metrics_endpoint_prometheus_under_live_job(tmp_path):
+    """/metrics is valid Prometheus text while a job is queued/running."""
+    service = ExperimentService(tmp_path / "cache", branches=BRANCHES, scale=SCALE)
+    hold = threading.Event()
+    real_execute = service._execute
+
+    def gated_execute(job):
+        hold.wait(60)
+        real_execute(job)
+
+    service._execute = gated_execute
+    srv = ServiceServer(service, port=0)
+    srv.start_background()
+
+    def metric_value(text, name):
+        for line in text.splitlines():
+            if line.startswith(name + " "):
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{srv.port}")
+        # the metrics registry is process-global: compare deltas, not totals
+        wait_before = metric_value(client.metrics(), "repro_jobs_wait_seconds_count")
+        exec_before = metric_value(client.metrics(), "repro_jobs_exec_seconds_count")
+        spec = {"workloads": ["kafka"], "configs": ["tsl_8k"]}
+        first = client.submit(spec, tenant="metrics-team")
+        second = client.submit(spec, tenant="metrics-team")  # stays queued
+
+        text = client.metrics()
+        lines = text.splitlines()
+        assert "# TYPE repro_jobs_queue_depth gauge" in lines
+        assert "repro_jobs_queue_depth 1" in lines
+        assert "repro_service_uptime_seconds" in text
+        assert 'repro_jobs_tenant{tenant="metrics-team",state="queued"} 1' in lines
+        assert 'repro_jobs_tenant{tenant="metrics-team",state="running"} 1' in lines
+        assert any('_bucket{le="' in line for line in lines)
+        # every non-comment line is `name[{labels}] value`
+        for line in lines:
+            if line.startswith("#"):
+                assert line.startswith("# TYPE "), line
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+
+        # content type is the Prometheus text exposition
+        conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=10)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert "text/plain" in response.getheader("Content-Type", "")
+        response.read()
+        conn.close()
+
+        hold.set()
+        assert client.wait(first["id"], timeout=300)["state"] == "done"
+        assert client.wait(second["id"], timeout=300)["state"] == "done"
+        # histograms observed job wait + exec latency
+        text = client.metrics()
+        assert metric_value(text, "repro_jobs_wait_seconds_count") == wait_before + 2
+        assert metric_value(text, "repro_jobs_exec_seconds_count") == exec_before + 2
+        assert "repro_jobs_queue_depth 0" in text.splitlines()
+    finally:
+        hold.set()
+        srv.stop_background()
+
+
+def test_terminal_event_poll_returns_immediately(server, client):
+    """A long-poll against a finished job must not sleep out its wait."""
+    job = client.submit({"workloads": ["kafka"], "configs": ["tsl_8k"]})
+    final = client.wait(job["id"], timeout=300)
+    assert final["state"] == "done"
+
+    start = time.monotonic()
+    events = client.events(job["id"], after=0, wait=30)
+    elapsed = time.monotonic() - start
+    assert elapsed < 5.0, f"terminal long-poll slept {elapsed:.1f}s"
+    assert events[-1]["type"] == "job-done"
+
+    # past-the-end cursor: empty body, immediate, cursor echoed in header
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    start = time.monotonic()
+    conn.request("GET", f"/jobs/{job['id']}/events?after=999999&wait=30")
+    response = conn.getresponse()
+    body = response.read()
+    elapsed = time.monotonic() - start
+    conn.close()
+    assert response.status == 200
+    assert body == b""
+    assert elapsed < 5.0, f"empty terminal long-poll slept {elapsed:.1f}s"
+    assert int(response.getheader("X-Repro-Cursor")) >= 999999
+
+
+def test_startup_compacts_dead_telemetry(tmp_path):
+    """Service start rolls dead-pid event/metrics files into merged segments."""
+    events_dir = tmp_path / "events"
+    events_dir.mkdir()
+    (events_dir / "events-424242.jsonl").write_text(
+        json.dumps({"ts": 1.0, "type": "job-cell", "job": "job-000001", "seq": 1}) + "\n"
+    )
+    (events_dir / "metrics-424242.json").write_text(
+        json.dumps({"counters": {"stale": 1.0}, "gauges": {}, "histograms": {}})
+    )
+    service = ExperimentService(
+        tmp_path / "cache", events_dir=events_dir, branches=BRANCHES, scale=SCALE
+    )
+    service.start()
+    try:
+        assert not (events_dir / "events-424242.jsonl").exists()
+        assert (events_dir / "events-merged.jsonl").exists()
+        from repro.obs.events import read_events
+
+        merged = read_events(events_dir, where={"job": "job-000001"})
+        assert [event["seq"] for event in merged] == [1]
+    finally:
+        service.stop()
 
 
 def test_cancellation_releases_multihost_claims(tmp_path):
